@@ -1,0 +1,24 @@
+PYTHON ?= python
+
+.PHONY: install test bench examples results clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate the archived outputs referenced by EXPERIMENTS.md.
+results:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f; done
+
+clean:
+	rm -rf .pytest_cache .benchmarks src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

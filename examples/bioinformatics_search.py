@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Domain example: parallel sequence-similarity search (S3asim-style).
+
+A BLAST-like service scans a fragmented sequence database: per query,
+each worker rank reads a run of database sequences from its assigned
+fragment, scores the alignment, and appends a result record to a shared
+output file.  Reads are large-ish (tens to hundreds of KB), writes are
+small appends -- a mixed pattern where DualPar's margin is real but
+modest (paper Fig 5: ~17% average).
+
+The example sweeps the query load and reports per-scheme times, plus
+DualPar's internals: how much of the read traffic was served from the
+global cache, and how the result writes were batched for writeback.
+
+Run:  python examples/bioinformatics_search.py
+"""
+
+from repro import JobSpec, S3asim, format_table, run_experiment
+from repro.cluster import paper_spec
+
+
+def search_job(n_queries: int) -> S3asim:
+    return S3asim(
+        n_fragments=16,
+        n_queries=n_queries,
+        db_bytes=48 * 1024 * 1024,
+        min_seq_bytes=64 * 1024,
+        max_seq_bytes=384 * 1024,
+        result_bytes=32 * 1024,
+        compute_per_query=0.003,
+        out_region_bytes=2 * 1024 * 1024,
+    )
+
+
+def main() -> None:
+    rows = []
+    internals = []
+    for n_queries in (8, 16, 32):
+        row = [n_queries]
+        for scheme in ("vanilla", "collective", "dualpar-forced"):
+            result = run_experiment(
+                [JobSpec("s3asim", 32, search_job(n_queries), strategy=scheme)],
+                cluster_spec=paper_spec(),
+            )
+            row.append(result.jobs[0].elapsed_s)
+            if scheme == "dualpar-forced":
+                eng = result.mpi_jobs[0].engine
+                hits = eng.n_cache_hits
+                total = hits + eng.n_cache_misses
+                internals.append(
+                    [
+                        n_queries,
+                        f"{hits / total:.0%}" if total else "n/a",
+                        eng.crm.prefetched_bytes / 1e6,
+                        eng.crm.writeback_bytes / 1e6,
+                    ]
+                )
+        rows.append(row)
+
+    print(
+        format_table(
+            ["queries", "vanilla (s)", "collective (s)", "DualPar (s)"],
+            rows,
+            title="Sequence search wall time by I/O scheme (32 workers)",
+            float_fmt="{:.2f}",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["queries", "cache hit rate", "MB prefetched", "MB written back"],
+            internals,
+            title="DualPar internals",
+            float_fmt="{:.1f}",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Example: defining your own workload (see docs/extending.md).
+
+A halo-exchange stencil code: each rank owns a slab of a 2-D field and
+per timestep re-reads its slab plus one halo row from each neighbour.
+Halo rows overlap between neighbouring ranks -- DualPar's CRM
+deduplicates the overlap globally before prefetching, something neither
+independent nor collective I/O does across *calls*.
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro import JobSpec, format_table, run_experiment
+from repro.cluster import paper_spec
+from repro.mpi.ops import ComputeOp, IoOp, Segment
+from repro.workloads.base import FileSpec, Workload
+
+
+class StencilHalo(Workload):
+    name = "stencil-halo"
+
+    def __init__(
+        self,
+        file_name: str = "field.dat",
+        rows: int = 1024,
+        row_bytes: int = 64 * 1024,
+        steps: int = 4,
+        compute_per_step: float = 0.005,
+    ):
+        self.file_name = file_name
+        self.rows = rows
+        self.row_bytes = row_bytes
+        self.steps = steps
+        self.compute_per_step = compute_per_step
+
+    def files(self):
+        return [FileSpec(self.file_name, self.rows * self.row_bytes)]
+
+    def ops(self, rank, size):
+        per = self.rows // size
+        lo, hi = rank * per, (rank + 1) * per
+        for _ in range(self.steps):
+            yield ComputeOp(self.compute_per_step)
+            first = max(lo - 1, 0)
+            last = min(hi + 1, self.rows)
+            yield IoOp(
+                file_name=self.file_name,
+                op="R",
+                segments=(
+                    Segment(first * self.row_bytes, (last - first) * self.row_bytes),
+                ),
+            )
+
+
+def main() -> None:
+    rows = []
+    dedupe = None
+    for scheme in ("vanilla", "collective", "dualpar-forced"):
+        res = run_experiment(
+            [JobSpec("stencil", 32, StencilHalo(), strategy=scheme)],
+            cluster_spec=paper_spec(),
+        )
+        j = res.jobs[0]
+        rows.append([scheme, j.elapsed_s, j.throughput_mb_s])
+        if scheme == "dualpar-forced":
+            eng = res.mpi_jobs[0].engine
+            requested = j.bytes_read
+            dedupe = (requested, eng.crm.prefetched_bytes)
+
+    print(
+        format_table(
+            ["scheme", "time (s)", "MB/s"],
+            rows,
+            title="Halo-exchange stencil, 32 ranks, 4 timesteps",
+            float_fmt="{:.2f}",
+        )
+    )
+    if dedupe:
+        requested, fetched = dedupe
+        print(
+            f"\nDualPar read {requested / 1e6:.0f} MB logically but fetched only "
+            f"{fetched / 1e6:.0f} MB from the servers: overlapping halo rows and "
+            f"re-read slabs were deduplicated in the global cache."
+        )
+
+
+if __name__ == "__main__":
+    main()

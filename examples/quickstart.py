@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: one I/O-bound MPI program, three ways.
+
+Builds a Darwin-like simulated cluster (9 PVFS2-style data servers behind
+CFQ elevators and mechanical disks, GigE, 64 KB striping), runs the
+``mpi-io-test`` access pattern with 64 ranks under vanilla MPI-IO,
+collective I/O, and DualPar, and prints what each scheme achieved and why
+(queue depths, mean request sizes at the disks).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import JobSpec, MpiIoTest, format_table, run_experiment
+from repro.cluster import paper_spec
+
+
+def main() -> None:
+    rows = []
+    for scheme in ("vanilla", "collective", "dualpar-forced"):
+        workload = MpiIoTest(file_size=64 * 1024 * 1024, request_bytes=16 * 1024)
+        result = run_experiment(
+            [JobSpec("mpi-io-test", 64, workload, strategy=scheme)],
+            cluster_spec=paper_spec(),
+        )
+        job = result.jobs[0]
+        # Why: what did the data servers' block layers see?
+        blk = result.cluster.data_servers[0].block_layer.stats
+        rows.append(
+            [
+                scheme,
+                job.elapsed_s,
+                job.throughput_mb_s,
+                result.cluster.mean_queue_depth(),
+                blk.mean_unit_sectors * 512 / 1024,
+            ]
+        )
+
+    print(
+        format_table(
+            [
+                "scheme",
+                "time (s)",
+                "MB/s",
+                "mean elevator queue depth",
+                "mean disk request (KB)",
+            ],
+            rows,
+            title="mpi-io-test, 64 ranks, 64 MB sequential read",
+            float_fmt="{:.2f}",
+        )
+    )
+    print(
+        "\nDualPar wins by making the disks efficient: it suspends the\n"
+        "program, pre-executes it to learn future requests, and issues them\n"
+        "as one sorted batch -- so the elevators see deep queues and large\n"
+        "merged requests instead of a synchronous trickle."
+    )
+
+
+if __name__ == "__main__":
+    main()

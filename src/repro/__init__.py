@@ -1,0 +1,73 @@
+"""DualPar reproduction: opportunistic data-driven execution of parallel
+programs for efficient I/O services (Zhang, Davis, Jiang -- IPDPS 2012).
+
+The package layers, bottom up:
+
+- :mod:`repro.sim` -- discrete-event simulation kernel;
+- :mod:`repro.disk`, :mod:`repro.iosched`, :mod:`repro.net` -- hardware
+  substrates (mechanical disks, Linux-style elevators, GigE);
+- :mod:`repro.pfs` -- PVFS2-like striped parallel file system;
+- :mod:`repro.cache` -- Memcached-like global client-side cache;
+- :mod:`repro.mpi`, :mod:`repro.mpiio` -- MPI runtime and the ADIO I/O
+  engines (vanilla, collective two-phase, speculative prefetch);
+- :mod:`repro.core` -- **DualPar** itself (EMC / PEC / CRM);
+- :mod:`repro.workloads` -- the paper's benchmarks as access patterns;
+- :mod:`repro.cluster`, :mod:`repro.runner` -- testbed assembly and the
+  experiment harness.
+
+Quick start::
+
+    from repro import JobSpec, MpiIoTest, run_experiment
+
+    res = run_experiment([
+        JobSpec("app", nprocs=16, workload=MpiIoTest(), strategy="dualpar-forced"),
+    ])
+    print(res.system_throughput_mb_s)
+"""
+
+from repro.cluster import ClusterSpec, build_cluster
+from repro.core import DualParConfig, DualParSystem
+from repro.mpi import MpiRuntime
+from repro.runner import (
+    JobResult,
+    JobSpec,
+    calibrate_compute_for_ratio,
+    format_table,
+    run_experiment,
+)
+from repro.workloads import (
+    Btio,
+    Demo,
+    DependentReads,
+    Hpio,
+    IorMpiIo,
+    MpiIoTest,
+    Noncontig,
+    S3asim,
+    SyntheticPattern,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Btio",
+    "ClusterSpec",
+    "Demo",
+    "DependentReads",
+    "DualParConfig",
+    "DualParSystem",
+    "Hpio",
+    "IorMpiIo",
+    "JobResult",
+    "JobSpec",
+    "MpiIoTest",
+    "MpiRuntime",
+    "Noncontig",
+    "S3asim",
+    "SyntheticPattern",
+    "build_cluster",
+    "calibrate_compute_for_ratio",
+    "format_table",
+    "run_experiment",
+    "__version__",
+]

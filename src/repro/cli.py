@@ -1,0 +1,304 @@
+"""Command-line interface: run simulated experiments without writing code.
+
+Examples::
+
+    python -m repro run --workload mpi-io-test --strategy dualpar-forced \
+        --nprocs 64 --size-mb 64
+    python -m repro compare --workload noncontig --nprocs 64
+    python -m repro list-workloads
+    python -m repro list-strategies
+
+``run`` executes one job and prints its measurements plus DualPar
+internals when applicable; ``compare`` runs the same workload under every
+strategy and prints a comparison table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Optional
+
+from repro.cluster import ClusterSpec, paper_spec
+from repro.core.config import DualParConfig
+from repro.runner import JobSpec, format_table, run_experiment
+from repro.runner.strategies import STRATEGY_NAMES
+from repro.workloads import (
+    Btio,
+    Demo,
+    DependentReads,
+    Hpio,
+    IorMpiIo,
+    MpiIoTest,
+    Noncontig,
+    S3asim,
+    SyntheticPattern,
+    Workload,
+)
+
+__all__ = ["main", "build_workload", "WORKLOADS"]
+
+
+def _mb(n: float) -> int:
+    return int(n * 1024 * 1024)
+
+
+#: name -> (description, builder(size_mb, op, nprocs) -> Workload)
+WORKLOADS: dict[str, tuple[str, Callable[[int, str, int], Workload]]] = {
+    "mpi-io-test": (
+        "globally sequential 16 KB segments, frequent barriers (PVFS2 suite)",
+        lambda size_mb, op, nprocs: MpiIoTest(file_size=_mb(size_mb), op=op),
+    ),
+    "hpio": (
+        "regioned access, 32 KB regions (Northwestern/Sandia)",
+        lambda size_mb, op, nprocs: Hpio(
+            region_count=max(_mb(size_mb) // (32 * 1024), 1),
+            region_bytes=32 * 1024,
+            op=op,
+        ),
+    ),
+    "ior-mpi-io": (
+        "each rank streams its own 1/P of the file (ASCI Purple)",
+        lambda size_mb, op, nprocs: IorMpiIo(file_size=_mb(size_mb), op=op),
+    ),
+    "noncontig": (
+        "column access of a 2D array via vector datatype (ANL)",
+        lambda size_mb, op, nprocs: Noncontig(
+            elmtcount=256,
+            n_rows=max(_mb(size_mb) // (64 * 1024), 64),
+            op=op,
+        ).with_ncols_hint(max(nprocs, 64)),
+    ),
+    "s3asim": (
+        "fragmented sequence-database search, mixed read/write",
+        lambda size_mb, op, nprocs: S3asim(db_bytes=_mb(size_mb)),
+    ),
+    "btio": (
+        "NAS BT-IO checkpointing; request size shrinks with process count",
+        lambda size_mb, op, nprocs: Btio(
+            total_bytes=_mb(size_mb), n_steps=2, cell_scale=16384, op="W"
+        ),
+    ),
+    "demo": (
+        "the paper's Section-II motivating synthetic (16-segment vector reads)",
+        lambda size_mb, op, nprocs: Demo(file_size=_mb(size_mb), nprocs_hint=nprocs),
+    ),
+    "dependent": (
+        "Table-III adversary: addresses depend on previously read data",
+        lambda size_mb, op, nprocs: DependentReads(file_size=_mb(size_mb)),
+    ),
+    "random": (
+        "seeded random 16 KB blocks per rank (synthetic)",
+        lambda size_mb, op, nprocs: SyntheticPattern(
+            file_size=_mb(size_mb), pattern="random", op=op
+        ),
+    ),
+}
+
+
+def build_workload(name: str, size_mb: int, op: str, nprocs: int) -> Workload:
+    """Construct a named workload scaled to size_mb/op/nprocs."""
+
+    try:
+        _, builder = WORKLOADS[name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown workload {name!r}; see `python -m repro list-workloads`"
+        ) from None
+    return builder(size_mb, op, nprocs)
+
+
+def _cluster_from_args(args) -> ClusterSpec:
+    return paper_spec(
+        n_compute_nodes=args.compute_nodes,
+        n_data_servers=args.data_servers,
+        io_scheduler=args.elevator,
+    )
+
+
+def _dualpar_from_args(args) -> Optional[DualParConfig]:
+    if args.quota_kb is None:
+        return None
+    return DualParConfig(quota_bytes=args.quota_kb * 1024)
+
+
+def _job_rows(result) -> list[list]:
+    return [
+        [
+            j.name,
+            j.strategy,
+            j.nprocs,
+            j.elapsed_s,
+            j.throughput_mb_s,
+            f"{j.io_ratio:.0%}",
+        ]
+        for j in result.jobs
+    ]
+
+
+def cmd_run(args) -> int:
+    workload = build_workload(args.workload, args.size_mb, args.op, args.nprocs)
+    result = run_experiment(
+        [JobSpec(args.workload, args.nprocs, workload, strategy=args.strategy)],
+        cluster_spec=_cluster_from_args(args),
+        dualpar_config=_dualpar_from_args(args),
+    )
+    print(
+        format_table(
+            ["job", "strategy", "ranks", "time (s)", "MB/s", "I/O ratio"],
+            _job_rows(result),
+            title=f"{args.workload} under {args.strategy}",
+            float_fmt="{:.2f}",
+        )
+    )
+    job = result.mpi_jobs[0]
+    engine = job.engine
+    if hasattr(engine, "pec"):
+        print(
+            f"\nDualPar: {engine.pec.n_cycles} prefetch cycles, "
+            f"{engine.crm.prefetched_bytes / 1e6:.1f} MB prefetched, "
+            f"{engine.crm.writeback_bytes / 1e6:.1f} MB written back, "
+            f"cache hits/misses {engine.n_cache_hits}/{engine.n_cache_misses}"
+        )
+    blk = result.cluster.data_servers[0].block_layer.stats
+    print(
+        f"server 0: mean elevator queue depth "
+        f"{blk.mean_queue_depth:.1f}, mean disk request "
+        f"{blk.mean_unit_sectors * 512 / 1024:.0f} KB"
+    )
+    return 0
+
+
+def cmd_compare(args) -> int:
+    rows = []
+    for strategy in args.strategies:
+        workload = build_workload(args.workload, args.size_mb, args.op, args.nprocs)
+        result = run_experiment(
+            [JobSpec(args.workload, args.nprocs, workload, strategy=strategy)],
+            cluster_spec=_cluster_from_args(args),
+            dualpar_config=_dualpar_from_args(args),
+        )
+        j = result.jobs[0]
+        rows.append([strategy, j.elapsed_s, j.throughput_mb_s])
+    print(
+        format_table(
+            ["strategy", "time (s)", "MB/s"],
+            rows,
+            title=f"{args.workload}, {args.nprocs} ranks, {args.size_mb} MB",
+            float_fmt="{:.2f}",
+        )
+    )
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.analysis import summarize
+
+    workload = build_workload(args.workload, args.size_mb, args.op, args.nprocs)
+    result = run_experiment(
+        [JobSpec(args.workload, args.nprocs, workload, strategy=args.strategy)],
+        cluster_spec=_cluster_from_args(args),
+        dualpar_config=_dualpar_from_args(args),
+    )
+    print(summarize(result))
+    return 0
+
+
+def cmd_list_workloads(_args) -> int:
+    print(
+        format_table(
+            ["name", "description"],
+            [[name, desc] for name, (desc, _) in WORKLOADS.items()],
+            title="available workloads",
+        )
+    )
+    return 0
+
+
+def cmd_list_strategies(_args) -> int:
+    descriptions = {
+        "vanilla": "independent synchronous MPI-IO (Strategy 1)",
+        "collective": "ROMIO-style two-phase collective I/O",
+        "prefetch": "speculative pre-execution prefetching (Strategy 2)",
+        "dualpar": "DualPar, mode chosen opportunistically by EMC",
+        "dualpar-forced": "DualPar pinned in data-driven mode",
+    }
+    print(
+        format_table(
+            ["name", "description"],
+            [[n, descriptions[n]] for n in STRATEGY_NAMES],
+            title="available strategies",
+        )
+    )
+    return 0
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--workload", default="mpi-io-test", help="see list-workloads")
+    p.add_argument("--nprocs", type=int, default=64, help="MPI ranks")
+    p.add_argument("--size-mb", type=int, default=64, help="data volume (MB)")
+    p.add_argument("--op", choices=["R", "W"], default="R", help="read or write")
+    p.add_argument("--compute-nodes", type=int, default=32)
+    p.add_argument("--data-servers", type=int, default=9)
+    p.add_argument(
+        "--elevator",
+        choices=["cfq", "deadline", "noop", "anticipatory"],
+        default="cfq",
+    )
+    p.add_argument(
+        "--quota-kb", type=int, default=None, help="DualPar per-process cache quota"
+    )
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DualPar reproduction: simulated MPI-IO experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one job under one strategy")
+    _add_common(p_run)
+    p_run.add_argument("--strategy", choices=STRATEGY_NAMES, default="dualpar-forced")
+    p_run.set_defaults(func=cmd_run)
+
+    p_rep = sub.add_parser("report", help="run one job and print a full analysis")
+    _add_common(p_rep)
+    p_rep.add_argument("--strategy", choices=STRATEGY_NAMES, default="dualpar-forced")
+    p_rep.set_defaults(func=cmd_report)
+
+    p_cmp = sub.add_parser("compare", help="same workload under several strategies")
+    _add_common(p_cmp)
+    p_cmp.add_argument(
+        "--strategies",
+        nargs="+",
+        choices=STRATEGY_NAMES,
+        default=["vanilla", "collective", "dualpar-forced"],
+    )
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_lw = sub.add_parser("list-workloads", help="show available workloads")
+    p_lw.set_defaults(func=cmd_list_workloads)
+
+    p_ls = sub.add_parser("list-strategies", help="show available strategies")
+    p_ls.set_defaults(func=cmd_list_strategies)
+
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+
+    args = make_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # e.g. `repro ... | head`
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

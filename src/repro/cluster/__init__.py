@@ -1,0 +1,12 @@
+"""Cluster assembly: wire simulator, network, disks, PFS, and daemons.
+
+:class:`ClusterSpec` captures the testbed configuration (defaults are a
+scaled-down Darwin: 9 data servers + 1 metadata server, GigE, CFQ, 64 KB
+striping); :func:`build_cluster` instantiates a ready-to-run
+:class:`Cluster`.
+"""
+
+from repro.cluster.spec import ClusterSpec, paper_spec
+from repro.cluster.builder import Cluster, build_cluster
+
+__all__ = ["Cluster", "ClusterSpec", "build_cluster", "paper_spec"]

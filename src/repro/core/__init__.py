@@ -1,0 +1,40 @@
+"""DualPar: opportunistic data-driven execution (the paper's contribution).
+
+Three modules mirror the paper's architecture (Fig 2):
+
+- :class:`EmcDaemon` (:mod:`repro.core.emc`) -- Execution Mode Control on
+  the metadata server: watches each registered program's I/O ratio and the
+  cluster's ``aveSeekDist/aveReqDist`` potential-improvement metric, and
+  flips programs between computation-driven and data-driven modes.
+- :class:`Pec` (:mod:`repro.core.pec`) -- Process Execution Control in the
+  MPI-IO library: blocks processes on read misses, forks ghost
+  (pre-execution) processes that run ahead recording future requests
+  (computation retained) until each process's cache quota is planned full
+  or the expected-fill-time deadline expires.
+- :class:`Crm` (:mod:`repro.core.crm`) -- Cache and Request Management on
+  each compute node: collects recorded requests, sorts and merges them,
+  fills small holes, and issues batched prefetch/writeback via list I/O.
+
+:class:`DualParSystem` wires the daemons to a cluster;
+:class:`DualParEngine` is the per-job ADIO interception layer.
+"""
+
+from repro.core.config import DualParConfig
+from repro.core.emc import EmcDaemon
+from repro.core.engine import DualParEngine
+from repro.core.metrics import JobIoSampler, RequestRecorder
+from repro.core.pec import Cycle, Pec
+from repro.core.crm import Crm
+from repro.core.system import DualParSystem
+
+__all__ = [
+    "Crm",
+    "Cycle",
+    "DualParConfig",
+    "DualParEngine",
+    "DualParSystem",
+    "EmcDaemon",
+    "JobIoSampler",
+    "Pec",
+    "RequestRecorder",
+]

@@ -1,0 +1,217 @@
+"""Cache and Request Management: batched prefetch and writeback.
+
+CRM turns the requests a cycle recorded into the fewest, largest, best-
+ordered server requests (paper SIV-D):
+
+- requests from *all* processes of the program are pooled per compute
+  node, sorted by file offset, and adjacent requests merged;
+- small holes between merged requests are absorbed -- for reads the hole
+  data is simply fetched too, for writes the holes are first *read* so
+  the covering extent can be written back whole (read-modify-write);
+- the resulting extents are issued with list I/O in ascending offset
+  order, all at once, so every data server's elevator sees a deep sorted
+  queue.
+
+Prefetched chunks are stored into the global cache (round-robin owners);
+dirty chunks are written back from their owner nodes and marked clean.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.cache.chunk import ChunkKey, chunk_range
+from repro.mpi.ops import Segment
+from repro.mpiio.datasieve import coalesce_segments
+from repro.mpiio.listio import batch_io
+from repro.sim import all_of
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.engine import DualParEngine
+    from repro.core.pec import Cycle
+
+__all__ = ["Crm"]
+
+
+class Crm:
+    """One per DualPar job (operating per compute node internally)."""
+
+    def __init__(self, engine: "DualParEngine"):
+        self.engine = engine
+        self.sim = engine.sim
+        self.config = engine.config
+        self.n_prefetch_batches = 0
+        self.n_writeback_batches = 0
+        self.prefetched_bytes = 0
+        self.writeback_bytes = 0
+
+    # ------------------------------------------------------------------
+
+    def run_cycle(self, cyc: "Cycle"):
+        """Writeback first, then prefetch; both batched per node."""
+        yield from self.writeback_all()
+        yield from self._prefetch(cyc)
+
+    # ---------------------------------------------------------- prefetch
+
+    def _chunks_needed(self, cyc: "Cycle") -> dict[int, dict[str, list[int]]]:
+        """node -> file -> sorted chunk indices to fetch.
+
+        Chunks are deduplicated globally (several ranks on several nodes
+        often record overlapping data), then the sorted chunk list of each
+        file is partitioned into *contiguous spans*, one per compute node:
+        each node issues one large, mostly-sequential batched read and then
+        distributes the chunks to their cache owners.  Contiguity at the
+        fetcher is what lets the data servers' elevators build long
+        sequential sweeps.
+        """
+        cache = self.engine.cache
+        cb = cache.chunk_bytes
+        fs = self.engine.runtime.cluster.fs
+        spec = self.engine.runtime.cluster.spec
+        nodes = [spec.compute_node_id(i) for i in range(spec.n_compute_nodes)]
+        wanted: dict[str, set[int]] = {}
+        for per_file in cyc.recorded.values():
+            for file_name, segs in per_file.items():
+                try:
+                    f = fs.lookup(file_name)
+                except FileNotFoundError:
+                    continue  # a mis-predicted file name
+                bucket = wanted.setdefault(file_name, set())
+                for seg in segs:
+                    end = min(seg.end, f.size)
+                    if seg.offset >= end:
+                        continue
+                    for idx in chunk_range(seg.offset, end - seg.offset, cb):
+                        if not cache.contains(ChunkKey(file_name, idx)):
+                            bucket.add(idx)
+        out: dict[int, dict[str, list[int]]] = {}
+        for file_name, idx_set in wanted.items():
+            indices = sorted(idx_set)
+            if not indices:
+                continue
+            span = -(-len(indices) // len(nodes))
+            for i, node in enumerate(nodes):
+                part = indices[i * span : (i + 1) * span]
+                if part:
+                    out.setdefault(node, {}).setdefault(file_name, []).extend(part)
+        return out
+
+    def _prefetch(self, cyc: "Cycle"):
+        sim = self.sim
+        cache = self.engine.cache
+        cb = cache.chunk_bytes
+        fs = self.engine.runtime.cluster.fs
+        needed = self._chunks_needed(cyc)
+        node_procs = []
+        for node, per_file in sorted(needed.items()):
+            if not any(per_file.values()):
+                continue
+            node_procs.append(
+                sim.process(
+                    self._prefetch_node(node, per_file), name=f"crm-pf-n{node}"
+                )
+            )
+        if node_procs:
+            self.n_prefetch_batches += 1
+            yield all_of(sim, node_procs)
+
+    def _prefetch_node(self, node: int, per_file: dict[str, list[int]]):
+        """One node's CRM fetches its span of chunks, sorted+merged."""
+        cache = self.engine.cache
+        cb = cache.chunk_bytes
+        fs = self.engine.runtime.cluster.fs
+        client = self.engine.runtime.cluster.clients[node]
+        stream_id = self.engine.crm_stream_id(node)
+        hole = self.config.hole_threshold_bytes if self.config.fill_holes else 0
+        pending = []
+        for file_name in sorted(per_file):
+            indices = sorted(set(per_file[file_name]))
+            if not indices:
+                continue
+            f = fs.lookup(file_name)
+            segs = []
+            for idx in indices:
+                lo = idx * cb
+                hi = min(lo + cb, f.size)
+                if hi > lo:
+                    segs.append(Segment(lo, hi - lo))
+            merged = coalesce_segments(segs, hole_threshold=hole)
+            total = sum(s.length for s in merged)
+            if self.config.use_list_io:
+                yield from batch_io(client, f, merged, "R", stream_id)
+            else:
+                for seg in merged:
+                    yield from client.io(f, seg.offset, seg.length, "R", stream_id)
+            self.prefetched_bytes += total
+            # Store every covered chunk (hole-filled data is cached too):
+            # one batched multiput scatters the chunks to their owners, in
+            # the background -- cache inserts pipeline behind the fetch.
+            puts = []
+            for seg in merged:
+                for idx in chunk_range(seg.offset, seg.length, cb):
+                    puts.append((ChunkKey(file_name, idx), None))
+            if puts:
+                pending.append(
+                    self.sim.process(
+                        cache.multiput(
+                            puts,
+                            from_node=node,
+                            cycle_id=self.engine.pec.current_cycle_id,
+                            job_id=self.engine.job.job_id,
+                        ),
+                        name="crm-put",
+                    )
+                )
+        if pending:
+            yield all_of(self.sim, pending)
+
+    # --------------------------------------------------------- writeback
+
+    def writeback_all(self):
+        """Write every dirty chunk of this job back, batched per owner node."""
+        cache = self.engine.cache
+        dirty = cache.dirty_chunks(self.engine.job.job_id)
+        if not dirty:
+            return
+        by_node: dict[int, dict[str, list[Segment]]] = {}
+        for chunk in dirty:
+            per_file = by_node.setdefault(chunk.owner_node, {})
+            segs = per_file.setdefault(chunk.key.file_name, [])
+            for s, e in chunk.dirty_ranges:
+                segs.append(Segment(s, e - s))
+        node_procs = [
+            self.sim.process(
+                self._writeback_node(node, per_file), name=f"crm-wb-n{node}"
+            )
+            for node, per_file in sorted(by_node.items())
+        ]
+        self.n_writeback_batches += 1
+        yield all_of(self.sim, node_procs)
+        for chunk in dirty:
+            cache.clean(chunk.key)
+        for rank in range(self.engine.job.nprocs):
+            self.engine.quota_of(rank).reset_dirty()
+
+    def _writeback_node(self, node: int, per_file: dict[str, list[Segment]]):
+        fs = self.engine.runtime.cluster.fs
+        client = self.engine.runtime.cluster.clients[node]
+        stream_id = self.engine.crm_stream_id(node)
+        hole = self.config.hole_threshold_bytes if self.config.fill_holes else 0
+        for file_name in sorted(per_file):
+            f = fs.lookup(file_name)
+            segs = per_file[file_name]
+            exact = coalesce_segments(segs, hole_threshold=0)
+            merged = coalesce_segments(segs, hole_threshold=hole)
+            covered = sum(s.length for s in merged)
+            requested = sum(s.length for s in exact)
+            to_write = merged
+            if covered > requested:
+                # Holes bridged: read-modify-write the covering extents.
+                yield from batch_io(client, f, merged, "R", stream_id)
+            if self.config.use_list_io:
+                yield from batch_io(client, f, to_write, "W", stream_id)
+            else:
+                for seg in to_write:
+                    yield from client.io(f, seg.offset, seg.length, "W", stream_id)
+            self.writeback_bytes += requested

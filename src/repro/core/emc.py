@@ -1,0 +1,135 @@
+"""Execution Mode Control: the decision daemon on the metadata server.
+
+Every ``emc_interval_s`` the daemon computes:
+
+- ``aveSeekDist`` -- mean recent per-request head seek distance reported
+  by the locality daemons on the data servers;
+- ``aveReqDist`` -- mean sorted-adjacent request distance recorded at the
+  compute nodes (the best locality a data-driven execution could create);
+- each registered program's recent I/O ratio.
+
+A program enters data-driven mode when its I/O ratio exceeds
+``io_ratio_enter`` (80 %) *and* the potential improvement
+``aveSeekDist / aveReqDist`` exceeds ``T_improvement`` (3).  It reverts
+when its I/O ratio falls below ``io_ratio_exit``, or immediately -- and
+permanently, with the default lockout -- when its mis-prefetch ratio
+exceeds 20 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.config import DualParConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.engine import DualParEngine
+    from repro.core.system import DualParSystem
+
+__all__ = ["EmcDaemon", "EmcSample"]
+
+
+@dataclass(frozen=True)
+class EmcSample:
+    """One evaluation tick's view of the system (kept for analysis)."""
+
+    time: float
+    ave_seek_dist: Optional[float]
+    ave_req_dist: Optional[float]
+    improvement: Optional[float]
+    io_ratios: dict  # job name -> ratio
+
+
+class EmcDaemon:
+    """Execution Mode Control: periodically evaluates every registered
+    program's I/O ratio against the cluster's seek/request distance ratio
+    and flips execution modes."""
+
+    def __init__(self, system: "DualParSystem", config: DualParConfig):
+        self.system = system
+        self.config = config
+        self.sim = system.runtime.sim
+        self.samples: list[EmcSample] = []
+        self._proc = self.sim.process(self._run(), name="emc")
+
+    # ------------------------------------------------------------------
+
+    def ave_seek_dist(self) -> Optional[float]:
+        vals = [
+            d.recent_seek_dist()
+            for d in self.system.runtime.cluster.locality_daemons
+        ]
+        vals = [v for v in vals if v is not None]
+        if not vals:
+            return None
+        return sum(vals) / len(vals)
+
+    def ave_req_dist(self) -> Optional[float]:
+        now = self.sim.now
+        vals = [r.recent_req_dist(now) for r in self.system.recorders.values()]
+        vals = [v for v in vals if v is not None]
+        if not vals:
+            return None
+        return sum(vals) / len(vals)
+
+    def improvement(self) -> Optional[float]:
+        seek = self.ave_seek_dist()
+        req = self.ave_req_dist()
+        if seek is None or req is None:
+            return None
+        # A perfectly sorted stream has ReqDist ~0; floor it at one stripe
+        # unit worth of sectors to keep the ratio finite.
+        floor_sectors = self.system.runtime.cluster.spec.stripe_unit / 512.0
+        return seek / max(req, floor_sectors)
+
+    # ------------------------------------------------------------------
+
+    def _run(self):
+        cfg = self.config
+        sim = self.sim
+        while True:
+            yield sim.timeout(cfg.emc_interval_s)
+            imp = self.improvement()
+            ratios = {}
+            for engine in list(self.system.engines.values()):
+                job = engine.job
+                if job.finished:
+                    continue
+                ratio = engine_sampler = self.system.sampler_of(engine).sample()
+                if ratio is not None:
+                    ratios[job.name] = ratio
+                if engine.config.force_mode is not None:
+                    continue
+                if engine.locked_out:
+                    continue
+                if job.mode == "normal":
+                    if (
+                        ratio is not None
+                        and ratio > cfg.io_ratio_enter
+                        and imp is not None
+                        and imp > cfg.t_improvement
+                    ):
+                        engine.set_mode("datadriven")
+                else:
+                    if ratio is not None and ratio < cfg.io_ratio_exit:
+                        engine.set_mode("normal")
+            self.samples.append(
+                EmcSample(
+                    time=sim.now,
+                    ave_seek_dist=self.ave_seek_dist(),
+                    ave_req_dist=self.ave_req_dist(),
+                    improvement=imp,
+                    io_ratios=ratios,
+                )
+            )
+
+    # ------------------------------------------------------------------
+
+    def report_misprefetch(self, engine: "DualParEngine", ratio: float) -> None:
+        """Called by PEC with each cycle's mis-prefetch ratio."""
+        if ratio > self.config.misprefetch_threshold:
+            if self.config.misprefetch_lockout:
+                engine.locked_out = True
+            if engine.job.mode == "datadriven" and engine.config.force_mode is None:
+                engine.set_mode("normal")

@@ -1,0 +1,197 @@
+"""The DualPar ADIO interception engine.
+
+In *normal* (computation-driven) mode every call is delegated to the
+configured baseline engine (vanilla or collective) -- DualPar "is
+minimally intrusive to a well-behaved system".  In *data-driven* mode:
+
+- reads are served from the global cache; a miss blocks the call and
+  joins a pre-execution cycle (see :mod:`repro.core.pec`); if the data is
+  still missing after the cycle (mis-prediction), the read falls through
+  to a direct synchronous request;
+- writes land in the cache as dirty chunks; a rank whose quota fills
+  blocks until the next cycle writes everything back.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from repro.cache.chunk import ChunkKey, chunk_range
+from repro.cache.memcache import GlobalCache
+from repro.cache.quota import QuotaTracker
+from repro.core.config import DualParConfig
+from repro.core.crm import Crm
+from repro.core.pec import Pec
+from repro.mpi.ops import IoOp, Segment
+from repro.mpiio.collective import CollectiveEngine
+from repro.mpiio.engine import IndependentEngine, IoEngine
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.system import DualParSystem
+    from repro.mpi.runtime import MpiJob, MpiProcess, MpiRuntime
+
+__all__ = ["DualParEngine"]
+
+
+class DualParEngine(IoEngine):
+    """The DualPar ADIO interception layer: delegates to the normal
+    engine in computation-driven mode; serves reads from the global cache
+    and buffers writes in data-driven mode."""
+
+    name = "dualpar"
+
+    def __init__(
+        self,
+        runtime: "MpiRuntime",
+        job: "MpiJob",
+        system: "DualParSystem",
+        config: DualParConfig,
+    ):
+        super().__init__(runtime, job)
+        self.system = system
+        self.config = config
+        self.cache: GlobalCache = runtime.global_cache
+        if config.normal_engine == "collective":
+            self.normal: IoEngine = CollectiveEngine(runtime, job)
+        else:
+            self.normal = IndependentEngine(runtime, job)
+        self.pec = Pec(self)
+        self.crm = Crm(self)
+        self._quotas: dict[int, QuotaTracker] = {}
+        self._crm_streams: dict[int, int] = {}
+        self._finished_ranks = 0
+        #: Set when mis-prefetching disabled the mode permanently.
+        self.locked_out = False
+        self.n_cache_hits = 0
+        self.n_cache_misses = 0
+        self.n_direct_fallback_bytes = 0
+
+    # ------------------------------------------------------------------
+
+    def quota_of(self, rank: int) -> QuotaTracker:
+        q = self._quotas.get(rank)
+        if q is None:
+            q = QuotaTracker(self.config.quota_bytes)
+            self._quotas[rank] = q
+        return q
+
+    def crm_stream_id(self, node: int) -> int:
+        sid = self._crm_streams.get(node)
+        if sid is None:
+            sid = self.runtime._next_stream_id()
+            self._crm_streams[node] = sid
+        return sid
+
+    def set_mode(self, mode: str) -> None:
+        """EMC's lever.  Leaving data-driven mode flushes dirty data."""
+        if mode not in ("normal", "datadriven"):
+            raise ValueError(f"bad mode {mode!r}")
+        if mode == self.job.mode:
+            return
+        self.job.mode = mode
+        self.system.log_transition(self.job, mode)
+        if mode == "normal" and self.cache.dirty_chunks(self.job.job_id):
+            self.sim.process(self.crm.writeback_all(), name=f"flush-{self.job.name}")
+
+    # ------------------------------------------------------------------
+
+    def on_job_start(self) -> None:
+        if self.config.force_mode is not None:
+            self.job.mode = self.config.force_mode
+        self.system.register(self)
+
+    def on_job_end(self) -> None:
+        self.system.unregister(self)
+        self.cache.purge_job(self.job.job_id)
+
+    def finalize_rank(self, proc: "MpiProcess") -> Generator:
+        self._finished_ranks += 1
+        if self._finished_ranks == self.job.nprocs:
+            # Last rank out flushes whatever is still dirty so write
+            # throughput measurements include the final writeback.
+            yield from self.crm.writeback_all()
+
+    # ------------------------------------------------------------------
+
+    def do_io(self, proc: "MpiProcess", op: IoOp) -> Generator:
+        self.system.record_request(proc, op)
+        # A zero quota means no cache space at all: the data-driven mode
+        # is "essentially disabled" (Fig 8's 0 KB point) regardless of
+        # what EMC or force_mode says.
+        if self.job.mode != "datadriven" or self.config.quota_bytes == 0:
+            yield from self.normal.do_io(proc, op)
+            return
+        if op.op == "R":
+            yield from self._dd_read(proc, op)
+        else:
+            yield from self._dd_write(proc, op)
+
+    # ------------------------------------------------------------- reads
+
+    def _consume(self, proc: "MpiProcess", file_name: str, ranges) -> Generator:
+        """Serve byte ranges from the cache; generator returns the misses.
+
+        One multi-get covers the whole MPI-IO call (the instrumented
+        library fetches all the call's chunks from Memcached in a batch).
+        """
+        cb = self.cache.chunk_bytes
+        wants: list[tuple[ChunkKey, int]] = []
+        spans: list[tuple[ChunkKey, int, int]] = []
+        for lo, hi in ranges:
+            for idx in chunk_range(lo, hi - lo, cb):
+                c_lo = max(lo, idx * cb)
+                c_hi = min(hi, (idx + 1) * cb)
+                key = ChunkKey(file_name, idx)
+                wants.append((key, c_hi - c_lo))
+                spans.append((key, c_lo, c_hi))
+        hits = yield from self.cache.multiget(wants, proc.node_id)
+        missing: list[tuple[int, int]] = []
+        for key, c_lo, c_hi in spans:
+            if hits.get(key):
+                self.n_cache_hits += 1
+            else:
+                self.n_cache_misses += 1
+                missing.append((c_lo, c_hi))
+        return missing
+
+    def _dd_read(self, proc: "MpiProcess", op: IoOp) -> Generator:
+        ranges = [(s.offset, s.end) for s in op.segments]
+        missing = yield from self._consume(proc, op.file_name, ranges)
+        if not missing:
+            return
+        op_pos = proc.stream.n_consumed
+        if proc.cycle_attempted_at != op_pos and self.job.mode == "datadriven":
+            proc.cycle_attempted_at = op_pos
+            resume = self.pec.block_on_miss(proc, op)
+            yield resume
+            missing = yield from self._consume(proc, op.file_name, missing)
+            if not missing:
+                return
+        # Mis-prediction (or a mode flip mid-block): direct synchronous
+        # reads for whatever is still absent.
+        f = self.lookup_file(op.file_name)
+        client = self.client_of(proc)
+        for lo, hi in missing:
+            self.n_direct_fallback_bytes += hi - lo
+            yield from client.io(f, lo, hi - lo, "R", proc.stream_id)
+
+    # ------------------------------------------------------------- writes
+
+    def _dd_write(self, proc: "MpiProcess", op: IoOp) -> Generator:
+        cb = self.cache.chunk_bytes
+        quota = self.quota_of(proc.rank)
+        puts = []
+        for seg in op.segments:
+            for idx in chunk_range(seg.offset, seg.length, cb):
+                c_lo = max(seg.offset, idx * cb)
+                c_hi = min(seg.end, (idx + 1) * cb)
+                puts.append((ChunkKey(op.file_name, idx), (c_lo, c_hi)))
+            quota.add_dirty(seg.length)
+        yield from self.cache.multiput(
+            puts,
+            from_node=proc.node_id,
+            cycle_id=self.pec.current_cycle_id,
+            job_id=self.job.job_id,
+        )
+        if quota.full:
+            yield self.pec.block_on_quota(proc)

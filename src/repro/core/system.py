@@ -1,0 +1,91 @@
+"""DualParSystem: one per cluster, wiring EMC, recorders, and engines."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.core.config import DualParConfig
+from repro.core.emc import EmcDaemon
+from repro.core.metrics import JobIoSampler, RequestRecorder
+from repro.mpi.ops import IoOp
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.engine import DualParEngine
+    from repro.mpi.runtime import MpiJob, MpiProcess, MpiRuntime
+
+__all__ = ["DualParSystem"]
+
+
+class DualParSystem:
+    """Cluster-wide DualPar infrastructure.
+
+    Create one per :class:`~repro.mpi.runtime.MpiRuntime`, then launch
+    jobs with :meth:`engine_factory`:
+
+    >>> system = DualParSystem(runtime)                      # doctest: +SKIP
+    >>> job = runtime.launch("app", 64, workload,
+    ...                      system.engine_factory())        # doctest: +SKIP
+    """
+
+    def __init__(self, runtime: "MpiRuntime", config: Optional[DualParConfig] = None):
+        self.runtime = runtime
+        self.config = config or DualParConfig()
+        spec = runtime.cluster.spec
+        self.recorders: dict[int, RequestRecorder] = {
+            spec.compute_node_id(i): RequestRecorder(
+                spec.compute_node_id(i), window_s=self.config.metric_window_s
+            )
+            for i in range(spec.n_compute_nodes)
+        }
+        self.engines: dict[int, "DualParEngine"] = {}
+        self._samplers: dict[int, JobIoSampler] = {}
+        #: (time, job name, new mode) transitions, for Fig-7 style analysis.
+        self.transitions: list[tuple[float, str, str]] = []
+        self.emc = EmcDaemon(self, self.config)
+
+    # ------------------------------------------------------------------
+
+    def engine_factory(self, **overrides) -> Callable:
+        """A factory suitable for ``MpiRuntime.launch(engine_factory=...)``.
+
+        Keyword overrides replace fields of this system's base config for
+        the launched job only (e.g. ``force_mode="datadriven"``).
+        """
+        config = (
+            dataclasses.replace(self.config, **overrides) if overrides else self.config
+        )
+
+        def factory(runtime: "MpiRuntime", job: "MpiJob"):
+            from repro.core.engine import DualParEngine
+
+            return DualParEngine(runtime, job, system=self, config=config)
+
+        return factory
+
+    # ------------------------------------------------------------------
+
+    def register(self, engine: "DualParEngine") -> None:
+        self.engines[engine.job.job_id] = engine
+        self._samplers[engine.job.job_id] = JobIoSampler(engine.job)
+
+    def unregister(self, engine: "DualParEngine") -> None:
+        self.engines.pop(engine.job.job_id, None)
+        self._samplers.pop(engine.job.job_id, None)
+
+    def sampler_of(self, engine: "DualParEngine") -> JobIoSampler:
+        return self._samplers[engine.job.job_id]
+
+    def record_request(self, proc: "MpiProcess", op: IoOp) -> None:
+        rec = self.recorders.get(proc.node_id)
+        if rec is None:
+            return
+        now = self.runtime.sim.now
+        for seg in op.segments:
+            rec.record(now, op.file_name, seg.offset, seg.length)
+
+    def log_transition(self, job: "MpiJob", mode: str) -> None:
+        self.transitions.append((self.runtime.sim.now, job.name, mode))
+
+    def report_misprefetch(self, engine: "DualParEngine", ratio: float) -> None:
+        self.emc.report_misprefetch(engine, ratio)

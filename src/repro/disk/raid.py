@@ -1,0 +1,127 @@
+"""RAID array of member drives (the Darwin nodes had 2-drive hardware RAID).
+
+- RAID-0: chunks striped round-robin across members; a request touching
+  several members is serviced by them in parallel, completing when the
+  slowest member finishes.
+- RAID-1: reads go to one member (chosen by chunk for determinism and
+  spindle balance); writes go to all members in parallel.
+
+The array exposes the :class:`~repro.disk.drive.BlockDevice` protocol so
+the block layer is agnostic to whether it drives a single spindle or an
+array.  Array stats aggregate bytes/requests at the array level; per-member
+mechanical stats remain on the members.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Sequence
+
+from repro.disk.drive import DiskDrive
+from repro.disk.stats import DriveStats, SeekSample
+from repro.sim import Simulator, all_of
+
+__all__ = ["RaidArray"]
+
+
+class RaidArray:
+    """RAID-0 or RAID-1 over identical member drives."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        members: Sequence[DiskDrive],
+        level: int = 0,
+        chunk_sectors: int = 128,
+        name: str = "raid0",
+    ):
+        if not members:
+            raise ValueError("RAID needs at least one member drive")
+        if level not in (0, 1):
+            raise ValueError(f"unsupported RAID level {level}")
+        if chunk_sectors <= 0:
+            raise ValueError("chunk_sectors must be positive")
+        sizes = {m.total_sectors for m in members}
+        if len(sizes) > 1:
+            raise ValueError("RAID members must be identical in size")
+        self.sim = sim
+        self.members = list(members)
+        self.level = level
+        self.chunk_sectors = chunk_sectors
+        self.name = name
+        self.stats = DriveStats()
+        # One service process per member at a time.
+        self._member_busy = [False] * len(members)
+
+    @property
+    def total_sectors(self) -> int:
+        per = self.members[0].total_sectors
+        return per * len(self.members) if self.level == 0 else per
+
+    # ------------------------------------------------------------------
+
+    def _split(self, lbn: int, nsectors: int) -> list[tuple[int, int, int]]:
+        """Map an array request to (member, member_lbn, nsectors) pieces.
+
+        Contiguous pieces landing on the same member are coalesced so each
+        member sees at most a few large requests, mirroring what a real
+        RAID controller issues.
+        """
+        n_mem = len(self.members)
+        if self.level == 1:
+            member = (lbn // self.chunk_sectors) % n_mem
+            return [(member, lbn, nsectors)]
+        pieces: dict[int, list[tuple[int, int]]] = {}
+        pos = lbn
+        remaining = nsectors
+        while remaining > 0:
+            chunk_idx = pos // self.chunk_sectors
+            member = chunk_idx % n_mem
+            member_chunk = chunk_idx // n_mem
+            offset_in_chunk = pos % self.chunk_sectors
+            take = min(self.chunk_sectors - offset_in_chunk, remaining)
+            member_lbn = member_chunk * self.chunk_sectors + offset_in_chunk
+            runs = pieces.setdefault(member, [])
+            if runs and runs[-1][0] + runs[-1][1] == member_lbn:
+                runs[-1] = (runs[-1][0], runs[-1][1] + take)
+            else:
+                runs.append((member_lbn, take))
+            pos += take
+            remaining -= take
+        return [(m, mlbn, n) for m, runs in sorted(pieces.items()) for mlbn, n in runs]
+
+    def _member_service(self, member: int, mlbn: int, n: int, op: str) -> Generator:
+        if self._member_busy[member]:
+            raise RuntimeError(f"{self.name}: member {member} already busy")
+        self._member_busy[member] = True
+        try:
+            yield from self.members[member].service(mlbn, n, op)
+        finally:
+            self._member_busy[member] = False
+
+    def service(self, lbn: int, nsectors: int, op: str = "R") -> Generator:
+        """Serve one array request, fanning out to members in parallel."""
+        if lbn + nsectors > self.total_sectors:
+            raise ValueError("request beyond array end")
+        start = self.sim.now
+        if self.level == 1 and op == "W":
+            procs = [
+                self.sim.process(self._member_service(m, lbn, nsectors, op))
+                for m in range(len(self.members))
+            ]
+        else:
+            pieces = self._split(lbn, nsectors)
+            procs = [
+                self.sim.process(self._member_service(m, mlbn, n, op))
+                for m, mlbn, n in pieces
+            ]
+        yield all_of(self.sim, procs)
+        self.stats.record(
+            SeekSample(
+                time=start,
+                lbn=lbn,
+                nsectors=nsectors,
+                seek_sectors=0,
+                service_time=self.sim.now - start,
+                op=op,
+            )
+        )

@@ -1,0 +1,63 @@
+"""Seek-time model.
+
+Seek time as a function of cylinder distance ``d`` follows the standard
+two-regime curve used by disk simulators: acceleration-limited (~sqrt(d))
+for short seeks, coast-limited (~linear in d) for long seeks.  We fit
+
+    seek(d) = t_track + alpha * sqrt(d - 1) + beta * (d - 1),   d >= 1
+    seek(0) = 0
+
+to three published datasheet numbers: track-to-track time, average seek
+time (which for uniformly random request pairs occurs at distance ~C/3),
+and full-stroke time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["SeekModel"]
+
+
+@dataclass(frozen=True)
+class SeekModel:
+    """Seek time curve calibrated from datasheet timings (seconds)."""
+
+    n_cylinders: int
+    track_to_track_s: float = 0.0008
+    average_s: float = 0.008
+    full_stroke_s: float = 0.016
+
+    def __post_init__(self) -> None:
+        if self.n_cylinders < 2:
+            raise ValueError("need at least 2 cylinders for a seek model")
+        if not (0 < self.track_to_track_s <= self.average_s <= self.full_stroke_s):
+            raise ValueError(
+                "expected 0 < track_to_track <= average <= full_stroke, got "
+                f"{self.track_to_track_s}, {self.average_s}, {self.full_stroke_s}"
+            )
+        # Solve t_track + a*sqrt(x) + b*x = target at the two anchor points
+        # x_avg = C/3 - 1 and x_max = C - 1 (x = d - 1).
+        c = float(self.n_cylinders)
+        x_avg = max(c / 3.0 - 1.0, 1.0)
+        x_max = max(c - 1.0, 2.0)
+        y_avg = self.average_s - self.track_to_track_s
+        y_max = self.full_stroke_s - self.track_to_track_s
+        s_avg, s_max = math.sqrt(x_avg), math.sqrt(x_max)
+        det = s_avg * x_max - s_max * x_avg
+        alpha = (y_avg * x_max - y_max * x_avg) / det
+        beta = (s_avg * y_max - s_max * y_avg) / det
+        object.__setattr__(self, "_alpha", alpha)
+        object.__setattr__(self, "_beta", beta)
+
+    def seek_time(self, distance_cylinders: int) -> float:
+        """Seconds to move the head ``distance_cylinders`` cylinders."""
+        d = abs(int(distance_cylinders))
+        if d == 0:
+            return 0.0
+        x = d - 1
+        t = self.track_to_track_s + self._alpha * math.sqrt(x) + self._beta * x
+        # The fitted quadratic-in-sqrt can dip slightly below the
+        # track-to-track floor for tiny distances; clamp.
+        return max(t, self.track_to_track_s)

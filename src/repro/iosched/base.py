@@ -1,0 +1,89 @@
+"""Scheduler interface and the decision protocol with the block layer.
+
+A scheduler owns the queue of pending :class:`IoUnit` objects.  The block
+layer's dispatch loop repeatedly asks ``decide(now, head_lbn)``:
+
+- ``SchedDecision.serve(unit)`` -- service this unit now;
+- ``SchedDecision.idle(seconds)`` -- the scheduler *chooses* to keep the
+  disk idle briefly (CFQ/anticipatory idling), hoping a better request
+  arrives; the loop re-asks after the window or on a new arrival;
+- ``SchedDecision.empty()`` -- nothing queued; sleep until an arrival.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.iosched.request import BlockRequest, IoUnit
+
+__all__ = ["IoScheduler", "SchedDecision"]
+
+#: Default cap on merged unit size: 1024 sectors = 512 KB, the common
+#: Linux ``max_sectors_kb`` default of the era.
+DEFAULT_MAX_SECTORS = 1024
+
+
+@dataclass(frozen=True)
+class SchedDecision:
+    kind: str  # 'serve' | 'idle' | 'empty'
+    unit: Optional[IoUnit] = None
+    idle_s: float = 0.0
+
+    @classmethod
+    def serve(cls, unit: IoUnit) -> "SchedDecision":
+        return cls(kind="serve", unit=unit)
+
+    @classmethod
+    def idle(cls, seconds: float) -> "SchedDecision":
+        return cls(kind="idle", idle_s=seconds)
+
+    @classmethod
+    def empty(cls) -> "SchedDecision":
+        return cls(kind="empty")
+
+
+class IoScheduler(ABC):
+    """Base class for elevator algorithms."""
+
+    def __init__(self, max_sectors: int = DEFAULT_MAX_SECTORS):
+        if max_sectors <= 0:
+            raise ValueError("max_sectors must be positive")
+        self.max_sectors = max_sectors
+        self.n_merges = 0
+
+    @abstractmethod
+    def add(self, req: BlockRequest, now: float) -> None:
+        """Queue a new request (merging it if possible)."""
+
+    @abstractmethod
+    def decide(self, now: float, head_lbn: int) -> SchedDecision:
+        """Choose the next action for the dispatch loop."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of queued units (not yet dispatched)."""
+
+    def on_complete(self, unit: IoUnit, now: float) -> None:
+        """Completion notification (think-time heuristics hook)."""
+
+    # -- shared helpers -------------------------------------------------
+
+    @staticmethod
+    def _try_merge_sorted(units: list[IoUnit], req: BlockRequest, max_sectors: int) -> bool:
+        """Attempt back/front merge of ``req`` into a LBN-sorted unit list.
+
+        Returns True when merged.  Keeps the list sorted.
+        """
+        import bisect
+
+        idx = bisect.bisect_left([u.lbn for u in units], req.lbn)
+        # Predecessor may back-merge; successor may front-merge.
+        if idx > 0 and units[idx - 1].can_back_merge(req, max_sectors):
+            units[idx - 1].back_merge(req)
+            return True
+        if idx < len(units) and units[idx].can_front_merge(req, max_sectors):
+            units[idx].front_merge(req)
+            return True
+        return False

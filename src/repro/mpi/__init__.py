@@ -1,0 +1,32 @@
+"""Simulated MPI runtime.
+
+An MPI *program* is described by a :class:`~repro.workloads.base.Workload`
+that emits a per-rank stream of operations (compute, read, write,
+barrier).  The runtime interprets each rank's stream as a simulation
+process, charging compute time directly and delegating I/O operations to
+the job's :class:`~repro.mpiio.engine.IoEngine` (vanilla / collective /
+prefetch / DualPar).
+
+The op-stream design is what makes pre-execution implementable exactly as
+the paper describes: a ghost process replays the *same* stream ahead of
+the normal cursor (computation retained), recording the requests it would
+issue, without requiring the program to be modified -- see
+:class:`OpStream`.
+"""
+
+from repro.mpi.ops import BarrierOp, ComputeOp, IoOp, Op, Segment
+from repro.mpi.opstream import OpStream
+from repro.mpi.runtime import MpiJob, MpiProcess, MpiRuntime, ProcMetrics
+
+__all__ = [
+    "BarrierOp",
+    "ComputeOp",
+    "IoOp",
+    "MpiJob",
+    "MpiProcess",
+    "MpiRuntime",
+    "Op",
+    "OpStream",
+    "ProcMetrics",
+    "Segment",
+]

@@ -1,0 +1,84 @@
+"""Op streams with a normal-execution cursor and a pre-execution view.
+
+The normal process consumes ops destructively with :meth:`next_for_run`.
+A ghost (pre-execution) iterates :meth:`peek` starting at the normal
+cursor's current position; peeked ops are buffered so the normal process
+replays them afterwards -- the simulated equivalent of forking the
+process: both start from identical state, only one has effects.
+
+Positions are tracked absolutely so a ghost iterator stays coherent even
+while the normal cursor advances concurrently (a rank whose ghost was
+forked before the rank itself blocked keeps executing for a while).  If
+the normal cursor overtakes the ghost, the ghost snaps forward to it --
+predicting ops the program already executed would be useless.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, Optional
+
+from repro.mpi.ops import Op
+
+__all__ = ["OpStream"]
+
+
+class OpStream:
+    """A rank's op sequence with a destructive run cursor and
+    non-destructive peek iterators (ghost pre-execution)."""
+
+    def __init__(self, it: Iterator[Op]):
+        self._it = iter(it)
+        self._buf: deque[Op] = deque()
+        #: Absolute position of the first buffered op == ops consumed by
+        #: the normal cursor so far.
+        self._base = 0
+        self._exhausted = False
+
+    @property
+    def n_consumed(self) -> int:
+        return self._base
+
+    def next_for_run(self) -> Optional[Op]:
+        """Advance the normal-execution cursor; None at end of program."""
+        if self._buf:
+            self._base += 1
+            return self._buf.popleft()
+        op = next(self._it, None)
+        if op is None:
+            self._exhausted = True
+            return None
+        self._base += 1
+        return op
+
+    def _fill_to(self, abs_pos: int) -> bool:
+        """Ensure the op at absolute position ``abs_pos`` is buffered."""
+        while self._base + len(self._buf) <= abs_pos:
+            if self._exhausted:
+                return False
+            op = next(self._it, None)
+            if op is None:
+                self._exhausted = True
+                return False
+            self._buf.append(op)
+        return True
+
+    def peek(self) -> Iterator[Op]:
+        """Iterate ahead from the normal cursor without consuming."""
+        pos = self._base
+        while True:
+            pos = max(pos, self._base)  # never predict the past
+            if not self._fill_to(pos):
+                return
+            yield self._buf[pos - self._base]
+            pos += 1
+
+    @property
+    def lookahead_len(self) -> int:
+        """Ops buffered ahead of the normal cursor (peeked, not yet run)."""
+        return len(self._buf)
+
+    @property
+    def finished(self) -> bool:
+        """True when the normal cursor has consumed every op."""
+        return self._exhausted and not self._buf

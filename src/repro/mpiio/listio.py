@@ -1,0 +1,103 @@
+"""List I/O: batched multi-range requests, one message per data server.
+
+"We use list I/O to pack small requests and issue them in ascending order
+of the requested data's offsets in the files to improve disk efficiency"
+(paper SIV-D).  Semantically: the caller provides sorted segments; each
+data server receives a single request message naming every piece it owns
+and submits them to its block layer together.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from repro.mpi.ops import Segment
+from repro.pfs.client import CONTROL_MSG_BYTES, PfsClient
+from repro.pfs.dataserver import ServerRequest
+from repro.pfs.filesystem import PfsFile
+from repro.sim import all_of
+
+__all__ = ["batch_io", "PER_PIECE_HEADER_BYTES"]
+
+#: Wire bytes describing one (offset, length) piece in a list request.
+PER_PIECE_HEADER_BYTES = 16
+
+
+def batch_io(
+    client: PfsClient,
+    f: PfsFile,
+    segments: list[Segment],
+    op: str,
+    stream_id: int,
+) -> Generator:
+    """Issue ``segments`` of file ``f`` as list-I/O; yield until done.
+
+    Pieces are grouped per data server, object-contiguous runs coalesced,
+    and each server receives one message.  All servers proceed in
+    parallel; for reads the payloads stream back afterwards.
+    """
+    if op not in ("R", "W"):
+        raise ValueError(f"op must be 'R' or 'W', got {op!r}")
+    if not segments:
+        return
+    sim = client.sim
+    layout = client.layout
+    by_server: dict[int, list] = {}
+    total_by_server: dict[int, int] = {}
+    for seg in segments:
+        if seg.offset < 0 or seg.end > f.size:
+            raise ValueError(f"segment {seg} outside file {f.name} of {f.size} bytes")
+        for piece in layout.split_coalesced(seg.offset, seg.length):
+            runs = by_server.setdefault(piece.server, [])
+            # Coalesce per-server object-contiguous runs across segments.
+            if runs and runs[-1].object_offset + runs[-1].length == piece.object_offset:
+                prev = runs[-1]
+                runs[-1] = ServerRequest(
+                    file_name=f.name,
+                    object_offset=prev.object_offset,
+                    length=prev.length + piece.length,
+                    op=op,
+                    stream_id=stream_id,
+                )
+            else:
+                runs.append(
+                    ServerRequest(
+                        file_name=f.name,
+                        object_offset=piece.object_offset,
+                        length=piece.length,
+                        op=op,
+                        stream_id=stream_id,
+                    )
+                )
+            total_by_server[piece.server] = total_by_server.get(piece.server, 0) + piece.length
+
+    def per_server(server_idx: int, reqs: list[ServerRequest]):
+        server = client.servers[server_idx]
+        nbytes = total_by_server[server_idx]
+        header = CONTROL_MSG_BYTES + PER_PIECE_HEADER_BYTES * len(reqs)
+        if op == "W":
+            yield from client.network.transfer(
+                client.node_id, server.node_id, header + nbytes
+            )
+        else:
+            yield from client.network.transfer(client.node_id, server.node_id, header)
+        yield server.handle_list(reqs)
+        if op == "R":
+            yield from client.network.transfer(
+                server.node_id, client.node_id, CONTROL_MSG_BYTES + nbytes
+            )
+        else:
+            yield from client.network.transfer(
+                server.node_id, client.node_id, CONTROL_MSG_BYTES
+            )
+
+    procs = [
+        sim.process(per_server(s, reqs), name=f"listio-s{s}")
+        for s, reqs in sorted(by_server.items())
+    ]
+    yield all_of(sim, procs)
+    total = sum(total_by_server.values())
+    if op == "R":
+        client.bytes_read += total
+    else:
+        client.bytes_written += total

@@ -1,0 +1,13 @@
+"""Cluster interconnect model (switched Gigabit Ethernet).
+
+A star topology: every node owns a full-duplex NIC; the switch fabric is
+non-blocking (as the Darwin cluster's GigE switch effectively was at 9
+data servers).  A message therefore contends at exactly two points: the
+sender's transmit side and the receiver's receive side -- which is what
+makes a data server's NIC the natural serialisation point when 64 clients
+push requests at it.
+"""
+
+from repro.net.ethernet import Network, NetworkParams, Nic
+
+__all__ = ["Network", "NetworkParams", "Nic"]

@@ -1,0 +1,127 @@
+"""Client-side PFS operations: striping, request fan-out, payload moves.
+
+A read: for every stripe piece, a small request message travels to the
+owning data server, the server performs the disk I/O, and the payload
+returns.  A write moves the payload with the request.  Pieces proceed in
+parallel; the call completes when the last piece does -- exactly the
+synchronous MPI-IO semantics DualPar's vanilla baseline exhibits.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from repro.pfs.dataserver import DataServer, ServerRequest
+from repro.pfs.filesystem import PfsFile
+from repro.pfs.layout import StripeLayout, StripePiece
+from repro.net.ethernet import Network
+from repro.sim import Process, Simulator, all_of
+
+__all__ = ["PfsClient"]
+
+#: Size of a request/acknowledge control message.
+CONTROL_MSG_BYTES = 128
+
+
+class PfsClient:
+    """The PFS library linked into one compute node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        network: Network,
+        servers: list[DataServer],
+        layout: StripeLayout,
+    ):
+        self.sim = sim
+        self.node_id = node_id
+        self.network = network
+        self.servers = servers
+        self.layout = layout
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    # ------------------------------------------------------------------
+
+    def _do_piece(self, f: PfsFile, piece: StripePiece, op: str, stream_id: int) -> Generator:
+        server = self.servers[piece.server]
+        net = self.network
+        if op == "W":
+            # Request + payload travel together.
+            yield from net.transfer(
+                self.node_id, server.node_id, CONTROL_MSG_BYTES + piece.length
+            )
+        else:
+            yield from net.transfer(self.node_id, server.node_id, CONTROL_MSG_BYTES)
+        done = server.handle(
+            ServerRequest(
+                file_name=f.name,
+                object_offset=piece.object_offset,
+                length=piece.length,
+                op=op,
+                stream_id=stream_id,
+            )
+        )
+        yield done
+        if op == "R":
+            yield from net.transfer(
+                server.node_id, self.node_id, CONTROL_MSG_BYTES + piece.length
+            )
+        else:
+            yield from net.transfer(server.node_id, self.node_id, CONTROL_MSG_BYTES)
+
+    def io(
+        self,
+        f: PfsFile,
+        offset: int,
+        length: int,
+        op: str,
+        stream_id: int,
+        coalesce: bool = False,
+    ) -> Generator:
+        """Perform one contiguous file read/write; yield until complete.
+
+        ``coalesce=True`` merges object-contiguous stripe pieces into large
+        per-server requests -- the batched-issuer path used by collective
+        aggregators and DualPar's CRM.
+        """
+        if op not in ("R", "W"):
+            raise ValueError(f"op must be 'R' or 'W', got {op!r}")
+        if offset < 0 or offset + length > f.size:
+            raise ValueError(
+                f"range [{offset}, {offset + length}) outside file {f.name} of {f.size} bytes"
+            )
+        if length == 0:
+            return
+        split = self.layout.split_coalesced if coalesce else self.layout.split
+        pieces = split(offset, length)
+        procs = [
+            self.sim.process(self._do_piece(f, p, op, stream_id), name="pfs-piece")
+            for p in pieces
+        ]
+        yield all_of(self.sim, procs)
+        if op == "R":
+            self.bytes_read += length
+        else:
+            self.bytes_written += length
+
+    def io_async(
+        self,
+        f: PfsFile,
+        offset: int,
+        length: int,
+        op: str,
+        stream_id: int,
+        coalesce: bool = False,
+    ) -> Process:
+        """Fire-and-track variant returning the in-flight process."""
+        return self.sim.process(
+            self.io(f, offset, length, op, stream_id, coalesce), name="pfs-io"
+        )
+
+    def read(self, f: PfsFile, offset: int, length: int, stream_id: int, **kw) -> Generator:
+        yield from self.io(f, offset, length, "R", stream_id, **kw)
+
+    def write(self, f: PfsFile, offset: int, length: int, stream_id: int, **kw) -> Generator:
+        yield from self.io(f, offset, length, "W", stream_id, **kw)

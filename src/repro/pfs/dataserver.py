@@ -1,0 +1,352 @@
+"""Data server: network-facing I/O service over a block layer.
+
+Each incoming request names a file, a byte range *within the server's
+object* for that file, and the issuing stream.  The server translates to
+LBNs using the file's extent, splits into <= ``max_io_bytes`` block
+requests, submits them all at once (so the elevator sees the full batch),
+and replies when the last completes.
+
+The :class:`LocalityDaemon` is DualPar's per-server agent: every
+``interval`` it snapshots the mean head seek distance over the elapsed
+slot, building the ``SeekDist`` series EMC consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.disk.drive import BlockDevice
+from repro.iosched.blocklayer import BlockLayer
+from repro.net.ethernet import Network
+from repro.pfs.filesystem import FileSystem
+from repro.sim import Event, Simulator, all_of
+
+__all__ = ["DataServer", "LocalityDaemon", "ServerRequest"]
+
+#: Largest single block-layer submission; matches the 512 KB kernel cap.
+DEFAULT_MAX_IO_BYTES = 512 * 1024
+
+#: Fixed CPU cost to parse/dispatch one request at the server.
+REQUEST_CPU_S = 20e-6
+
+#: Incremental CPU cost per piece of a list-I/O request.
+LIST_PIECE_CPU_S = 2e-6
+
+#: Memory-copy bandwidth charged when a write lands in the server's RAM.
+MEMCPY_BYTES_S = 3e9
+
+
+@dataclass
+class ServerRequest:
+    """One object-range request as received from a client."""
+
+    file_name: str
+    object_offset: int
+    length: int
+    op: str  # 'R' | 'W'
+    stream_id: int
+
+
+class DataServer:
+    """One PVFS2 data server."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        server_index: int,
+        node_id: int,
+        network: Network,
+        fs: FileSystem,
+        device: BlockDevice,
+        block_layer: BlockLayer,
+        max_io_bytes: int = DEFAULT_MAX_IO_BYTES,
+        n_io_threads: int = 4,
+        page_cache: Optional["ServerPageCache"] = None,
+        writeback_interval_s: Optional[float] = None,
+    ):
+        from repro.pfs.pagecache import ServerPageCache
+
+        self.sim = sim
+        self.server_index = server_index
+        self.node_id = node_id
+        self.network = network
+        self.fs = fs
+        self.device = device
+        self.block_layer = block_layer
+        self.max_io_bytes = max_io_bytes
+        self.page_cache = page_cache if page_cache is not None else ServerPageCache()
+        #: Optional kernel-flusher-style write-back buffer (the paper's
+        #: servers force dirty writeback every second).
+        if writeback_interval_s is not None:
+            from repro.pfs.writeback import WritebackBuffer
+
+            self.writeback: Optional["WritebackBuffer"] = WritebackBuffer(
+                sim, self, flush_interval_s=writeback_interval_s
+            )
+        else:
+            self.writeback = None
+        #: In-flight reads per file: (start, end, completion event).
+        self._inflight: dict[str, list] = {}
+        #: The PVFS2 server performs disk I/O from a small pool of worker
+        #: threads; the kernel elevator sees THOSE contexts, not the remote
+        #: MPI ranks.  Client streams are folded onto the pool.
+        self.n_io_threads = n_io_threads
+        self.n_requests = 0
+        self.bytes_served = 0
+
+    def _io_context(self, client_stream: int) -> int:
+        return client_stream % self.n_io_threads
+
+    # ------------------------------------------------------------------
+
+    def handle(self, req: ServerRequest) -> Event:
+        """Start servicing a request; returns an event firing when the
+        data is on disk (write) or read off the platters (read).
+
+        Network transfer of the payload is the *client's* side of the
+        conversation -- see :class:`~repro.pfs.client.PfsClient`.
+        """
+        done = self.sim.event()
+        self.sim.process(self._service(req, done), name=f"ds{self.server_index}-svc")
+        return done
+
+    def _submit_blocks(self, req: ServerRequest, is_async: bool = False) -> list[Event]:
+        """Translate one object range to block requests; submit them all.
+
+        Does NOT honour queue congestion -- use :meth:`_submit_blocks_throttled`
+        from generator contexts that may flood the elevator.
+        """
+        f = self.fs.lookup(req.file_name)
+        lbn = f.lbn_of(self.server_index, req.object_offset)
+        nsectors_total = -(-req.length // 512)
+        max_sectors = self.max_io_bytes // 512
+        completions = []
+        pos = 0
+        while pos < nsectors_total:
+            take = min(max_sectors, nsectors_total - pos)
+            completions.append(
+                self.block_layer.submit(
+                    lbn + pos,
+                    take,
+                    op=req.op,
+                    stream_id=self._io_context(req.stream_id),
+                    is_async=is_async,
+                )
+            )
+            pos += take
+        return completions
+
+    def _submit_blocks_throttled(self, req: ServerRequest, is_async: bool = False):
+        """Like :meth:`_submit_blocks`, but a server thread sleeping in
+        ``get_request_wait`` when the elevator queue is congested
+        (nr_requests).  Generator; returns the completion-event list."""
+        f = self.fs.lookup(req.file_name)
+        lbn = f.lbn_of(self.server_index, req.object_offset)
+        nsectors_total = -(-req.length // 512)
+        max_sectors = self.max_io_bytes // 512
+        completions = []
+        pos = 0
+        while pos < nsectors_total:
+            yield from self.block_layer.throttle()
+            take = min(max_sectors, nsectors_total - pos)
+            completions.append(
+                self.block_layer.submit(
+                    lbn + pos,
+                    take,
+                    op=req.op,
+                    stream_id=self._io_context(req.stream_id),
+                    is_async=is_async,
+                )
+            )
+            pos += take
+        return completions
+
+    def _object_bytes(self, file_name: str) -> int:
+        f = self.fs.lookup(file_name)
+        return f.layout.object_size(f.size, self.server_index)
+
+    def _overlapping_inflight(self, file_name: str, start: int, end: int) -> list[Event]:
+        return [
+            ev
+            for s, e, ev in self._inflight.get(file_name, [])
+            if s < end and e > start
+        ]
+
+    def _perform_io(self, req: ServerRequest):
+        """Page-cache-aware disk access for one object range."""
+        sim = self.sim
+        pc = self.page_cache
+        if req.op == "W":
+            pc.invalidate(req.file_name, req.object_offset, req.length)
+            if self.writeback is not None and not self.writeback.over_limit:
+                # Write-back: dirty the range in RAM and return; the
+                # flusher daemon writes it to disk within its interval.
+                self.writeback.add(req.file_name, req.object_offset, req.length)
+                yield sim.timeout(req.length / MEMCPY_BYTES_S)
+                return
+            completions = yield from self._submit_blocks_throttled(req)
+            yield all_of(sim, completions)
+            return
+        start, end = req.object_offset, req.object_offset + req.length
+        if self.writeback is not None and self.writeback.covers(
+            req.file_name, start, req.length
+        ):
+            # Read of dirty not-yet-flushed data: served from RAM.
+            yield sim.timeout(req.length / MEMCPY_BYTES_S)
+            return
+        if pc.contains(req.file_name, start, req.length):
+            pc.n_hits += 1
+            trigger = pc.on_hit(req.file_name, start, req.length, self._io_context(req.stream_id))
+            if trigger is not None:
+                ra_start, ra_len = trigger
+                obj_end = self._object_bytes(req.file_name)
+                ra_end = min(ra_start + ra_len, obj_end)
+                if (
+                    ra_end > ra_start
+                    and not self.block_layer.congested
+                    and not pc.contains(req.file_name, ra_start, ra_end - ra_start)
+                ):
+                    pc.insert(req.file_name, ra_start, ra_end - ra_start)
+                    ra_req = ServerRequest(
+                        file_name=req.file_name,
+                        object_offset=ra_start,
+                        length=ra_end - ra_start,
+                        op="R",
+                        stream_id=req.stream_id,
+                    )
+                    sim.process(
+                        self._disk_read_tracked(ra_req, ra_start, ra_end, is_async=True),
+                        name=f"ds{self.server_index}-ra",
+                    )
+            waits = self._overlapping_inflight(req.file_name, start, end)
+            if waits:
+                yield all_of(sim, waits)
+            return
+        pc.n_misses += 1
+        extra = pc.record_access(req.file_name, start, req.length, self._io_context(req.stream_id))
+        read_end = min(end + extra, self._object_bytes(req.file_name))
+        read_end = max(read_end, end)
+        # Mark resident immediately so concurrent overlapping reads wait on
+        # the in-flight event instead of re-reading (page-lock semantics).
+        pc.insert(req.file_name, start, read_end - start)
+        yield from self._disk_read_tracked(req, start, end, is_async=False)
+        if read_end > end:
+            # Asynchronous readahead: the extension proceeds in the
+            # background while the caller's reply departs -- and it keeps
+            # the elevator queue busy, exactly as kernel readahead does.
+            ra_req = ServerRequest(
+                file_name=req.file_name,
+                object_offset=end,
+                length=read_end - end,
+                op="R",
+                stream_id=req.stream_id,
+            )
+            sim.process(
+                self._disk_read_tracked(ra_req, end, read_end, is_async=True),
+                name=f"ds{self.server_index}-ra",
+            )
+
+    def _disk_read_tracked(self, req: ServerRequest, start: int, end: int, is_async: bool = False):
+        sim = self.sim
+        inflight_ev = sim.event()
+        entry = (start, end, inflight_ev)
+        self._inflight.setdefault(req.file_name, []).append(entry)
+        try:
+            disk_req = ServerRequest(
+                file_name=req.file_name,
+                object_offset=start,
+                length=end - start,
+                op="R",
+                stream_id=req.stream_id,
+            )
+            completions = yield from self._submit_blocks_throttled(
+                disk_req, is_async=is_async
+            )
+            yield all_of(sim, completions)
+        finally:
+            self._inflight[req.file_name].remove(entry)
+            inflight_ev.succeed()
+
+    def _service(self, req: ServerRequest, done: Event):
+        sim = self.sim
+        yield sim.timeout(REQUEST_CPU_S)
+        yield from self._perform_io(req)
+        self.n_requests += 1
+        self.bytes_served += req.length
+        done.succeed(sim.now)
+
+    # ------------------------------------------------------------------
+
+    def handle_list(self, reqs: list[ServerRequest]) -> Event:
+        """List I/O: many object ranges delivered in ONE request message.
+
+        All pieces hit the block layer together, so the elevator sees the
+        whole batch at once -- the mechanism DualPar's CRM and collective
+        aggregators rely on for deep, sortable queues.
+        """
+        done = self.sim.event()
+        self.sim.process(self._service_list(reqs, done), name=f"ds{self.server_index}-list")
+        return done
+
+    def _service_list(self, reqs: list[ServerRequest], done: Event):
+        sim = self.sim
+        yield sim.timeout(REQUEST_CPU_S + LIST_PIECE_CPU_S * len(reqs))
+        pieces = [
+            sim.process(self._perform_io(req), name=f"ds{self.server_index}-piece")
+            for req in reqs
+        ]
+        yield all_of(sim, pieces)
+        self.n_requests += len(reqs)
+        total = sum(r.length for r in reqs)
+        self.bytes_served += total
+        done.succeed(sim.now)
+
+
+class LocalityDaemon:
+    """Samples per-slot mean seek distance on one data server.
+
+    The paper: "we set up a locality daemon at each data server, which
+    tracks disk head seek distance, SeekDist ... and use it as a metric
+    for quantifying I/O efficiency".
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device: BlockDevice,
+        interval_s: float = 1.0,
+        name: str = "locality",
+    ):
+        self.sim = sim
+        self.device = device
+        self.interval_s = interval_s
+        self.name = name
+        #: (slot_end_time, mean seek sectors, n requests in slot)
+        self.samples: list[tuple[float, float, int]] = []
+        self._proc = sim.process(self._run(), name=name)
+
+    def _run(self):
+        sim = self.sim
+        last_n = 0
+        last_seek = 0
+        while True:
+            yield sim.timeout(self.interval_s)
+            stats = self.device.stats
+            dn = stats.n_requests - last_n
+            dseek = stats.total_seek_sectors - last_seek
+            mean = (dseek / dn) if dn > 0 else 0.0
+            self.samples.append((sim.now, mean, dn))
+            last_n = stats.n_requests
+            last_seek = stats.total_seek_sectors
+
+    def recent_seek_dist(self, n_slots: int = 3) -> Optional[float]:
+        """Average SeekDist over the last ``n_slots`` active slots."""
+        active = [(t, m, n) for t, m, n in self.samples[-8 * n_slots :] if n > 0]
+        if not active:
+            return None
+        tail = active[-n_slots:]
+        total_req = sum(n for _, _, n in tail)
+        if total_req == 0:
+            return None
+        return sum(m * n for _, m, n in tail) / total_req

@@ -1,0 +1,137 @@
+"""Server-side write-back caching with a periodic flusher.
+
+The paper's testbed note: "For write tests, we force dirty pages being
+written back every one second on each data server."  With write-back
+enabled, a write request completes once the data is in the server's
+memory; a flusher daemon wakes every ``flush_interval_s``, collects the
+dirty ranges, sorts them, and submits them to the block layer as one
+async batch -- the kernel's own little request scheduler.
+
+Disabled by default (`ClusterSpec.server_writeback=False`): write-through
+matches the calibration in DESIGN.md §5, and the ablation bench
+quantifies what the kernel flusher changes.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import TYPE_CHECKING
+
+from repro.sim import Simulator, all_of
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pfs.dataserver import DataServer
+
+__all__ = ["WritebackBuffer"]
+
+
+class WritebackBuffer:
+    """Per-server dirty-range buffer plus the flusher daemon."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        server: "DataServer",
+        flush_interval_s: float = 1.0,
+        max_dirty_bytes: int = 64 * 1024 * 1024,
+    ):
+        if flush_interval_s <= 0:
+            raise ValueError("flush interval must be positive")
+        if max_dirty_bytes <= 0:
+            raise ValueError("max_dirty_bytes must be positive")
+        self.sim = sim
+        self.server = server
+        self.flush_interval_s = flush_interval_s
+        self.max_dirty_bytes = max_dirty_bytes
+        #: file -> sorted disjoint dirty [start, end) object ranges
+        self._dirty: dict[str, list[tuple[int, int]]] = {}
+        self.dirty_bytes = 0
+        self.n_flushes = 0
+        self.flushed_bytes = 0
+        self._flush_gate = None
+        self._proc = sim.process(self._flusher(), name=f"wb-{server.server_index}")
+
+    # ------------------------------------------------------------------
+
+    def add(self, file_name: str, offset: int, length: int) -> None:
+        """Record a dirty object range (the write has landed in RAM)."""
+        if length <= 0:
+            return
+        ivs = self._dirty.setdefault(file_name, [])
+        s, e = offset, offset + length
+        idx = bisect.bisect_left(ivs, (s, s))
+        lo = idx
+        while lo > 0 and ivs[lo - 1][1] >= s:
+            lo -= 1
+        hi = idx
+        while hi < len(ivs) and ivs[hi][0] <= e:
+            hi += 1
+        removed = 0
+        for i in range(lo, hi):
+            removed += ivs[i][1] - ivs[i][0]
+            s = min(s, ivs[i][0])
+            e = max(e, ivs[i][1])
+        ivs[lo:hi] = [(s, e)]
+        self.dirty_bytes += (e - s) - removed
+        if self.dirty_bytes >= self.max_dirty_bytes and self._flush_gate is not None:
+            # Memory pressure: kick the flusher early.
+            gate, self._flush_gate = self._flush_gate, None
+            if not gate.triggered:
+                gate.succeed()
+
+    @property
+    def over_limit(self) -> bool:
+        return self.dirty_bytes >= self.max_dirty_bytes
+
+    def covers(self, file_name: str, offset: int, length: int) -> bool:
+        """Is [offset, offset+length) fully dirty (servable from RAM)?"""
+        if length <= 0:
+            return True
+        ivs = self._dirty.get(file_name)
+        if not ivs:
+            return False
+        idx = bisect.bisect_right(ivs, (offset, float("inf"))) - 1
+        if idx < 0:
+            return False
+        s, e = ivs[idx]
+        return s <= offset and offset + length <= e
+
+    # ------------------------------------------------------------------
+
+    def _flusher(self):
+        sim = self.sim
+        from repro.sim import any_of
+
+        while True:
+            self._flush_gate = sim.event()
+            yield any_of(sim, [sim.timeout(self.flush_interval_s), self._flush_gate])
+            self._flush_gate = None
+            yield from self.flush()
+
+    def flush(self):
+        """Write every dirty range back, sorted, as one async batch."""
+        if not self._dirty:
+            return
+        batch, self._dirty = self._dirty, {}
+        flushed = self.dirty_bytes
+        self.dirty_bytes = 0
+        from repro.pfs.dataserver import ServerRequest
+
+        completions = []
+        for file_name in sorted(batch):
+            for s, e in batch[file_name]:
+                req = ServerRequest(
+                    file_name=file_name,
+                    object_offset=s,
+                    length=e - s,
+                    op="W",
+                    stream_id=0,
+                )
+                reqs = yield from self.server._submit_blocks_throttled(
+                    req, is_async=True
+                )
+                completions.extend(reqs)
+        self.n_flushes += 1
+        self.flushed_bytes += flushed
+        if completions:
+            yield all_of(self.sim, completions)

@@ -1,0 +1,46 @@
+"""Compute-time calibration for target I/O ratios.
+
+The paper defines a workload's I/O ratio as "the ratio between a
+program's I/O time and its total execution time in the vanilla system"
+and tunes the demo program's inter-call compute time to sweep it.  This
+helper reproduces that procedure: run the workload once under vanilla
+MPI-IO with zero compute, measure the per-call I/O time, and solve for
+the compute time giving the requested ratio.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.cluster import ClusterSpec
+from repro.runner.experiment import JobSpec, run_experiment
+from repro.workloads.base import Workload
+
+__all__ = ["calibrate_compute_for_ratio"]
+
+
+def calibrate_compute_for_ratio(
+    workload_builder: Callable[[float], Workload],
+    target_ratio: float,
+    nprocs: int,
+    cluster_spec: Optional[ClusterSpec] = None,
+) -> float:
+    """Compute seconds per call such that vanilla runs at ``target_ratio``.
+
+    ``workload_builder(compute_per_call)`` must return a fresh workload
+    with the given inter-call computation.
+    """
+    if not 0 < target_ratio <= 1:
+        raise ValueError("target ratio must be in (0, 1]")
+    probe = workload_builder(0.0)
+    res = run_experiment(
+        [JobSpec("calibrate", nprocs, probe, strategy="vanilla")],
+        cluster_spec=cluster_spec,
+    )
+    job = res.jobs[0]
+    n_calls = sum(p.metrics.n_io_calls for p in res.mpi_jobs[0].procs)
+    if n_calls == 0:
+        raise ValueError("workload performed no I/O calls")
+    io_per_call = job.io_time_s / n_calls
+    # ratio = io / (io + compute)  =>  compute = io * (1 - r) / r
+    return io_per_call * (1 - target_ratio) / target_ratio

@@ -1,0 +1,36 @@
+"""Plain-text result tables for bench output."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+    float_fmt: str = "{:.1f}",
+) -> str:
+    """Render an aligned monospace table (paper-style result listing)."""
+
+    def fmt(v: Any) -> str:
+        if isinstance(v, float):
+            return float_fmt.format(v)
+        return str(v)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append(sep)
+    for row in cells:
+        out.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)

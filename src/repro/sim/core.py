@@ -1,0 +1,434 @@
+"""Core event loop, events, and coroutine processes.
+
+The design follows the classic event-list DES structure: a binary heap of
+``(time, priority, sequence, event)`` entries.  Events are one-shot: once
+*triggered* they are placed on the heap, and when *processed* their callbacks
+run exactly once.  A :class:`Process` wraps a generator; each value the
+generator yields must be an :class:`Event`, and the process is resumed (via
+``send`` or ``throw``) when that event is processed.
+
+Determinism: ties in time are broken first by an integer priority (lower
+runs first) and then by a monotonically increasing sequence number, so a
+simulation is a pure function of its inputs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Generator
+from typing import Any, Callable, Optional
+
+__all__ = [
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+    "all_of",
+    "any_of",
+]
+
+#: Default scheduling priority for ordinary events.
+NORMAL = 1
+#: Priority used for urgent bookkeeping events (interrupts, process resume).
+URGENT = 0
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called.
+
+    The interrupting party may attach an arbitrary ``cause`` describing why
+    the victim was interrupted (e.g. a pre-execution deadline expiring).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Interrupt(cause={self.cause!r})"
+
+
+class Event:
+    """A one-shot event that processes can wait on.
+
+    Life cycle: *pending* -> *triggered* (``succeed``/``fail`` called, queued
+    on the heap) -> *processed* (callbacks executed).  Waiting is expressed
+    by appending a callback; :class:`Process` objects do this automatically
+    when a generator yields the event.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed", "_defused")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._processed = False
+        self._defused = False
+
+    # -- state ---------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once ``succeed``/``fail`` has been called."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's payload (or exception when failed)."""
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully with an optional payload."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.sim._enqueue(self, delay=0.0, priority=priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
+        """Trigger the event as failed; waiters get the exception thrown."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.sim._enqueue(self, delay=0.0, priority=priority)
+        return self
+
+    # -- internals -----------------------------------------------------
+
+    def _process(self) -> None:
+        """Run callbacks; called by the simulator when dequeued."""
+        callbacks, self.callbacks = self.callbacks, None
+        self._processed = True
+        for cb in callbacks:
+            cb(self)
+        if not self._ok and not self._defused:
+            # An un-waited-for failure would otherwise vanish silently.
+            raise self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = (
+            "processed" if self._processed else "triggered" if self._triggered else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay of simulated time."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        sim._enqueue(self, delay=delay, priority=NORMAL)
+
+
+class _Initialize(Event):
+    """Internal event used to start a process at creation time."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", process: "Process"):
+        super().__init__(sim)
+        self.callbacks.append(process._resume)
+        self._triggered = True
+        self._ok = True
+        self._value = None
+        sim._enqueue(self, delay=0.0, priority=URGENT)
+
+
+class Process(Event):
+    """A running coroutine.  Completes (as an event) when its generator does.
+
+    The wrapped generator yields :class:`Event` objects.  When a yielded
+    event is processed, the process resumes with ``event.value`` sent in
+    (or the exception thrown in, if the event failed).
+    """
+
+    __slots__ = ("gen", "name", "_target")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: Optional[str] = None):
+        if not hasattr(gen, "send") or not hasattr(gen, "throw"):
+            raise SimulationError(f"process body must be a generator, got {gen!r}")
+        super().__init__(sim)
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        #: The event this process is currently waiting on (None if running
+        #: or finished).  Used by interrupt() to detach.
+        self._target: Optional[Event] = None
+        _Initialize(sim, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The process must be alive and not currently executing.  The event it
+        was waiting on stays pending; the process may re-wait on it.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        if self is self.sim.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        interrupt_ev = Event(self.sim)
+        interrupt_ev._defused = True
+        interrupt_ev.callbacks.append(self._resume)
+        interrupt_ev._triggered = True
+        interrupt_ev._ok = False
+        interrupt_ev._value = Interrupt(cause)
+        # Detach from the current target so its eventual firing does not
+        # resume us twice.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+        self._target = None
+        self.sim._enqueue(interrupt_ev, delay=0.0, priority=URGENT)
+
+    # -- internals -----------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        self.sim._active = self
+        self._target = None
+        try:
+            if event._ok:
+                result = self.gen.send(event._value)
+            else:
+                event._defused = True
+                result = self.gen.throw(event._value)
+        except StopIteration as exc:
+            self.sim._active = None
+            self.succeed(exc.value, priority=URGENT)
+            return
+        except BaseException as exc:
+            self.sim._active = None
+            self.fail(exc, priority=URGENT)
+            return
+        self.sim._active = None
+        if not isinstance(result, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded non-event {result!r}"
+            )
+        if result.sim is not self.sim:
+            raise SimulationError("yielded event belongs to a different simulator")
+        if result.callbacks is None:
+            # Already processed: resume immediately via a fresh wake event.
+            wake = Event(self.sim)
+            wake.callbacks.append(self._resume)
+            wake._triggered = True
+            wake._ok = result._ok
+            wake._value = result._value
+            if not result._ok:
+                wake._defused = True
+            self.sim._enqueue(wake, delay=0.0, priority=URGENT)
+        else:
+            result.callbacks.append(self._resume)
+            self._target = result
+            if not result._ok:
+                result._defused = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Process {self.name!r} {'alive' if self.is_alive else 'done'}>"
+
+
+class _Condition(Event):
+    """Base for all_of / any_of composite events."""
+
+    __slots__ = ("events", "_n_done")
+
+    def __init__(self, sim: "Simulator", events: list[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._n_done = 0
+        for ev in self.events:
+            if ev.sim is not self.sim:
+                raise SimulationError("condition mixes events from different simulators")
+            if ev.callbacks is None:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _collect(self) -> dict[Event, Any]:
+        return {ev: ev._value for ev in self.events if ev._processed and ev._ok}
+
+
+class _AllOf(_Condition):
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._n_done += 1
+        if self._n_done == len(self.events):
+            self.succeed(self._collect())
+
+
+class _AnyOf(_Condition):
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self.succeed(self._collect())
+
+
+def all_of(sim: "Simulator", events: list[Event]) -> Event:
+    """Event that fires when *all* of ``events`` have fired.
+
+    Value is a dict mapping each constituent event to its value.
+    """
+    if not events:
+        ev = Event(sim)
+        ev.succeed({})
+        return ev
+    return _AllOf(sim, events)
+
+
+def any_of(sim: "Simulator", events: list[Event]) -> Event:
+    """Event that fires when *any* of ``events`` has fired."""
+    if not events:
+        raise SimulationError("any_of() requires at least one event")
+    return _AnyOf(sim, events)
+
+
+class Simulator:
+    """The discrete-event loop: a clock plus a heap of triggered events."""
+
+    def __init__(self):
+        self._now: float = 0.0
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active: Optional[Process] = None
+
+    # -- clock & introspection ------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    # -- event factories -------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator, name: Optional[str] = None) -> Process:
+        """Launch a generator as a simulation process."""
+        return Process(self, gen, name=name)
+
+    def all_of(self, events: list[Event]) -> Event:
+        return all_of(self, events)
+
+    def any_of(self, events: list[Event]) -> Event:
+        return any_of(self, events)
+
+    # -- running ----------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._heap:
+            raise SimulationError("step() on an empty schedule")
+        t, _prio, _seq, event = heapq.heappop(self._heap)
+        self._now = t
+        event._process()
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the schedule drains or the clock passes ``until``.
+
+        Returns the final simulated time.  When ``until`` is given, the
+        clock is advanced exactly to it even if no event lands there.
+        """
+        if until is not None and until < self._now:
+            raise SimulationError(f"until={until} is in the past (now={self._now})")
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self._now = until
+                return self._now
+            self.step()
+        if until is not None:
+            self._now = max(self._now, until)
+        return self._now
+
+    def run_until_event(self, event: Event, limit: float = float("inf")) -> Any:
+        """Run until ``event`` is processed; return its value.
+
+        Raises the event's exception if it failed, or
+        :class:`SimulationError` if the schedule drains or ``limit`` is
+        reached first.
+        """
+        while not event._processed:
+            if not self._heap:
+                raise SimulationError("schedule drained before event fired (deadlock?)")
+            if self._heap[0][0] > limit:
+                raise SimulationError(f"time limit {limit} reached before event fired")
+            self.step()
+        if not event._ok:
+            raise event._value
+        return event._value
+
+    # -- internals ---------------------------------------------------------
+
+    def _enqueue(self, event: Event, delay: float, priority: int) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))

@@ -1,0 +1,215 @@
+"""Capacity-limited resources and producer/consumer stores.
+
+These follow SimPy semantics closely enough to be familiar:
+
+- :class:`Resource` -- ``n`` identical servers; ``request()`` returns an
+  event that fires when a slot is granted; ``release()`` frees it.
+- :class:`PriorityResource` -- like Resource but the wait queue is ordered
+  by a caller-supplied priority (lower first), FIFO within a priority.
+- :class:`Store` -- unbounded-or-bounded FIFO buffer of items with ``put``
+  and ``get`` events.
+- :class:`FilterStore` -- Store whose ``get`` takes a predicate.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable, Optional
+
+from repro.sim.core import Event, SimulationError, Simulator
+
+__all__ = ["Resource", "PriorityResource", "Store", "FilterStore"]
+
+
+class _Request(Event):
+    """Event granted when the resource slot is acquired."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.sim)
+        self.resource = resource
+
+    # Support ``with`` blocks for symmetry with SimPy-style code in tests.
+    def __enter__(self) -> "_Request":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """``capacity`` identical servers with a FIFO wait queue."""
+
+    def __init__(self, sim: Simulator, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError("Resource capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.users: list[_Request] = []
+        self.queue: deque[_Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently in use."""
+        return len(self.users)
+
+    def request(self) -> _Request:
+        req = _Request(self)
+        if len(self.users) < self.capacity:
+            self.users.append(req)
+            req.succeed(req)
+        else:
+            self.queue.append(req)
+        return req
+
+    def release(self, request: _Request) -> None:
+        try:
+            self.users.remove(request)
+        except ValueError:
+            # Releasing a queued (never-granted) request cancels it.
+            try:
+                self.queue.remove(request)
+                return
+            except ValueError:
+                raise SimulationError("release() of unknown request") from None
+        while self.queue and len(self.users) < self.capacity:
+            nxt = self.queue.popleft()
+            self.users.append(nxt)
+            nxt.succeed(nxt)
+
+
+class _PriorityRequest(_Request):
+    __slots__ = ("priority", "seq")
+
+    def __init__(self, resource: "PriorityResource", priority: float, seq: int):
+        super().__init__(resource)
+        self.priority = priority
+        self.seq = seq
+
+    def __lt__(self, other: "_PriorityRequest") -> bool:
+        return (self.priority, self.seq) < (other.priority, other.seq)
+
+
+class PriorityResource(Resource):
+    """Resource whose waiters are served lowest-priority-value first."""
+
+    def __init__(self, sim: Simulator, capacity: int = 1):
+        super().__init__(sim, capacity)
+        self._pq: list[_PriorityRequest] = []
+        self._seq = 0
+
+    def request(self, priority: float = 0.0) -> _PriorityRequest:  # type: ignore[override]
+        self._seq += 1
+        req = _PriorityRequest(self, priority, self._seq)
+        if len(self.users) < self.capacity:
+            self.users.append(req)
+            req.succeed(req)
+        else:
+            heapq.heappush(self._pq, req)
+        return req
+
+    def release(self, request: _Request) -> None:  # type: ignore[override]
+        try:
+            self.users.remove(request)
+        except ValueError:
+            try:
+                self._pq.remove(request)  # type: ignore[arg-type]
+                heapq.heapify(self._pq)
+                return
+            except ValueError:
+                raise SimulationError("release() of unknown request") from None
+        while self._pq and len(self.users) < self.capacity:
+            nxt = heapq.heappop(self._pq)
+            self.users.append(nxt)
+            nxt.succeed(nxt)
+
+
+class Store:
+    """FIFO item buffer with optional capacity bound.
+
+    ``put(item)`` returns an event that fires once the item is accepted;
+    ``get()`` returns an event that fires with the oldest item.
+    """
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise SimulationError("Store capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self.items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        ev = Event(self.sim)
+        self._putters.append((ev, item))
+        self._dispatch()
+        return ev
+
+    def get(self) -> Event:
+        ev = Event(self.sim)
+        self._getters.append(ev)
+        self._dispatch()
+        return ev
+
+    def _dispatch(self) -> None:
+        # Accept puts while there is room.
+        while self._putters and len(self.items) < self.capacity:
+            ev, item = self._putters.popleft()
+            self.items.append(item)
+            ev.succeed()
+        # Serve getters while items remain.
+        while self._getters and self.items:
+            ev = self._getters.popleft()
+            ev.succeed(self.items.popleft())
+            # A removal may unblock a putter.
+            while self._putters and len(self.items) < self.capacity:
+                pev, item = self._putters.popleft()
+                self.items.append(item)
+                pev.succeed()
+
+
+class FilterStore(Store):
+    """Store whose ``get`` may specify a predicate over items."""
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf")):
+        super().__init__(sim, capacity)
+        self._fgetters: deque[tuple[Event, Callable[[Any], bool]]] = deque()
+
+    def get(self, predicate: Optional[Callable[[Any], bool]] = None) -> Event:  # type: ignore[override]
+        pred = predicate or (lambda _item: True)
+        ev = Event(self.sim)
+        self._fgetters.append((ev, pred))
+        self._dispatch()
+        return ev
+
+    def _dispatch(self) -> None:  # type: ignore[override]
+        while self._putters and len(self.items) < self.capacity:
+            pev, item = self._putters.popleft()
+            self.items.append(item)
+            pev.succeed()
+        served = True
+        while served:
+            served = False
+            for gi, (ev, pred) in enumerate(self._fgetters):
+                match_idx = None
+                for ii, item in enumerate(self.items):
+                    if pred(item):
+                        match_idx = ii
+                        break
+                if match_idx is not None:
+                    item = self.items[match_idx]
+                    del self.items[match_idx]
+                    del self._fgetters[gi]
+                    ev.succeed(item)
+                    served = True
+                    while self._putters and len(self.items) < self.capacity:
+                        pev, pitem = self._putters.popleft()
+                        self.items.append(pitem)
+                        pev.succeed()
+                    break

@@ -1,0 +1,11 @@
+"""Tracing: blktrace-style disk access records and throughput timelines.
+
+The paper uses Blktrace to show *where* the disk head travelled under each
+strategy (Figs 1(c,d) and 6) and windowed throughput to show mode switching
+(Fig 7).  These recorders regenerate both.
+"""
+
+from repro.trace.blktrace import AccessRecord, BlkTrace
+from repro.trace.timeline import ThroughputTimeline
+
+__all__ = ["AccessRecord", "BlkTrace", "ThroughputTimeline"]

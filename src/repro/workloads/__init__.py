@@ -1,0 +1,48 @@
+"""The paper's benchmark programs as access-pattern generators.
+
+Each workload reproduces the published access pattern of the benchmark it
+stands in for (sizes are scaled down configurably -- the simulation's
+event count, not the pattern, limits scale; DESIGN.md documents scaling):
+
+- :class:`MpiIoTest` -- PVFS2's ``mpi-io-test``: globally sequential
+  16 KB segments interleaved across ranks, frequent barriers.
+- :class:`Hpio` -- Northwestern/Sandia ``hpio``: regioned access with
+  configurable count/spacing/size.
+- :class:`IorMpiIo` -- LLNL ``ior-mpi-io``: each rank streams its own
+  1/P of the file; random across ranks, sequential within.
+- :class:`Noncontig` -- ANL ``noncontig``: column access of a 2D array
+  with a vector datatype; collective or independent.
+- :class:`S3asim` -- sequence-similarity search: fragmented DB reads,
+  result writes, query-count driven.
+- :class:`Btio` -- NAS BT-IO: tiny per-rank cells whose size shrinks with
+  process count, written per timestep (collective or independent).
+- :class:`Demo` -- the motivating synthetic program of Section II.
+- :class:`DependentReads` -- the Table-III adversary whose addresses
+  depend on previously read data (every prefetch is wrong).
+- :class:`SyntheticPattern` -- building block for tests/examples.
+"""
+
+from repro.workloads.base import FileSpec, Workload
+from repro.workloads.btio import Btio
+from repro.workloads.demo import Demo
+from repro.workloads.dependent import DependentReads
+from repro.workloads.hpio import Hpio
+from repro.workloads.ior import IorMpiIo
+from repro.workloads.mpi_io_test import MpiIoTest
+from repro.workloads.noncontig import Noncontig
+from repro.workloads.s3asim import S3asim
+from repro.workloads.synthetic import SyntheticPattern
+
+__all__ = [
+    "Btio",
+    "Demo",
+    "DependentReads",
+    "FileSpec",
+    "Hpio",
+    "IorMpiIo",
+    "MpiIoTest",
+    "Noncontig",
+    "S3asim",
+    "SyntheticPattern",
+    "Workload",
+]

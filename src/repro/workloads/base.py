@@ -1,0 +1,46 @@
+"""Workload protocol."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.mpi.ops import Op
+
+__all__ = ["FileSpec", "Workload"]
+
+
+@dataclass(frozen=True)
+class FileSpec:
+    """A file the workload needs pre-created."""
+
+    name: str
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError("file size must be positive")
+
+
+class Workload(ABC):
+    """An MPI program described by its per-rank operation stream.
+
+    Implementations must be *replayable*: ``ops(rank, size)`` may be
+    called any number of times and must return an identical stream --
+    DualPar's ghost pre-execution depends on it (as the real DualPar
+    depends on fork semantics).
+    """
+
+    name: str = "workload"
+
+    @abstractmethod
+    def ops(self, rank: int, size: int) -> Iterator[Op]:
+        """The operation stream of ``rank`` in a ``size``-process run."""
+
+    @abstractmethod
+    def files(self) -> list[FileSpec]:
+        """Files to create before the job starts."""
+
+    def validate(self, size: int) -> None:
+        """Optional sanity check of (workload, nprocs) pairing."""

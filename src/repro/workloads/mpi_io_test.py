@@ -1,0 +1,61 @@
+"""mpi-io-test (PVFS2 software package).
+
+"Process p_i accesses the (i + 64j)-th 16 KB segment at call j (j >= 0)
+... The benchmark generates a fully sequential access pattern."  A
+barrier routine is called frequently during execution (SV-B explains its
+cost); we place one after every call by default.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.mpi.ops import BarrierOp, ComputeOp, IoOp, Op, Segment
+from repro.workloads.base import FileSpec, Workload
+
+__all__ = ["MpiIoTest"]
+
+
+class MpiIoTest(Workload):
+    """PVFS2's mpi-io-test: globally sequential fixed-size segments,
+    rank-interleaved, with frequent barriers."""
+
+    name = "mpi-io-test"
+
+    def __init__(
+        self,
+        file_name: str = "mpi-io-test.dat",
+        file_size: int = 64 * 1024 * 1024,
+        request_bytes: int = 16 * 1024,
+        op: str = "R",
+        barrier_every: int = 1,
+        compute_per_call: float = 0.0,
+    ):
+        if file_size % request_bytes != 0:
+            raise ValueError("file_size must be a multiple of request_bytes")
+        if op not in ("R", "W"):
+            raise ValueError("op must be 'R' or 'W'")
+        self.file_name = file_name
+        self.file_size = file_size
+        self.request_bytes = request_bytes
+        self.op = op
+        self.barrier_every = barrier_every
+        self.compute_per_call = compute_per_call
+
+    def files(self) -> list[FileSpec]:
+        return [FileSpec(self.file_name, self.file_size)]
+
+    def ops(self, rank: int, size: int) -> Iterator[Op]:
+        n_segments = self.file_size // self.request_bytes
+        calls = 0
+        for j in range(rank, n_segments, size):
+            if self.compute_per_call > 0:
+                yield ComputeOp(self.compute_per_call)
+            yield IoOp(
+                file_name=self.file_name,
+                op=self.op,
+                segments=(Segment(j * self.request_bytes, self.request_bytes),),
+            )
+            calls += 1
+            if self.barrier_every and calls % self.barrier_every == 0:
+                yield BarrierOp()

@@ -1,0 +1,151 @@
+"""Unit & property tests for MPI derived datatypes and file views."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi.datatypes import ContigType, FileView, IndexedType, VectorType
+from repro.mpi.ops import Segment
+
+
+# ------------------------------------------------------------------ contig
+
+
+def test_contig_flatten():
+    t = ContigType(100)
+    assert t.flatten(50, 3) == [Segment(50, 300)]
+    assert t.size == 100 and t.extent == 100
+
+
+def test_contig_rejects_bad():
+    with pytest.raises(ValueError):
+        ContigType(0)
+
+
+# ------------------------------------------------------------------ vector
+
+
+def test_vector_template():
+    t = VectorType(count=3, blocklength=10, stride=50)
+    assert t.flatten(0, 1) == [Segment(0, 10), Segment(50, 10), Segment(100, 10)]
+    assert t.size == 30
+    assert t.extent == 110
+
+
+def test_vector_multiple_instances():
+    t = VectorType(count=2, blocklength=10, stride=30)
+    # extent = 40: instance 2 starts at 40.
+    assert t.flatten(0, 2) == [
+        Segment(0, 10),
+        Segment(30, 20),  # instance 1's second block merges with instance 2's first
+        Segment(70, 10),
+    ]
+
+
+def test_vector_stride_equals_blocklength_is_contiguous():
+    t = VectorType(count=4, blocklength=10, stride=10)
+    assert t.flatten(0, 1) == [Segment(0, 40)]
+
+
+def test_vector_rejects_bad():
+    with pytest.raises(ValueError):
+        VectorType(count=0, blocklength=10, stride=10)
+    with pytest.raises(ValueError):
+        VectorType(count=2, blocklength=10, stride=5)
+
+
+# ----------------------------------------------------------------- indexed
+
+
+def test_indexed_sorted_template():
+    t = IndexedType(blocks=((100, 10), (0, 20)))
+    assert t.flatten(0, 1) == [Segment(0, 20), Segment(100, 10)]
+    assert t.size == 30
+    assert t.extent == 110
+
+
+def test_indexed_rejects_overlap():
+    with pytest.raises(ValueError):
+        IndexedType(blocks=((0, 20), (10, 20)))
+
+
+def test_indexed_rejects_empty():
+    with pytest.raises(ValueError):
+        IndexedType(blocks=())
+
+
+# --------------------------------------------------------------- file view
+
+
+def test_view_identity_with_contig():
+    v = FileView(ContigType(1000), disp=0)
+    assert v.segments(100, 50) == [Segment(100, 50)]
+
+
+def test_view_displacement_shifts():
+    v = FileView(ContigType(1000), disp=4096)
+    assert v.segments(0, 100) == [Segment(4096, 100)]
+
+
+def test_view_vector_skips_holes():
+    # Column 0 of a 4-column int32 array, elmtcount=4 -> 16-byte cells
+    # every 64 bytes.
+    v = FileView(VectorType(count=2, blocklength=16, stride=64))
+    # Logical bytes 0..31 = the two 16-byte cells.
+    assert v.segments(0, 32) == [Segment(0, 16), Segment(64, 16)]
+
+
+def test_view_starts_mid_block():
+    v = FileView(VectorType(count=2, blocklength=16, stride=64))
+    assert v.segments(8, 16) == [Segment(8, 8), Segment(64, 8)]
+
+
+def test_view_tiles_repeat():
+    v = FileView(VectorType(count=2, blocklength=16, stride=64))
+    # One tile holds 32 data bytes over an 80-byte extent.
+    segs = v.segments(32, 32)  # entirely the second tile
+    assert segs == [Segment(80, 16), Segment(144, 16)]
+
+
+def test_view_rejects_negative():
+    v = FileView(ContigType(10))
+    with pytest.raises(ValueError):
+        v.segments(-1, 10)
+    with pytest.raises(ValueError):
+        FileView(ContigType(10), disp=-5)
+
+
+@given(
+    count=st.integers(min_value=1, max_value=8),
+    block=st.integers(min_value=1, max_value=64),
+    extra=st.integers(min_value=0, max_value=64),
+    offset=st.integers(min_value=0, max_value=512),
+    length=st.integers(min_value=0, max_value=1024),
+)
+@settings(max_examples=150, deadline=None)
+def test_view_conservation_property(count, block, extra, offset, length):
+    """A view access of N logical bytes produces exactly N physical bytes,
+    in strictly increasing non-overlapping segments."""
+    ft = VectorType(count=count, blocklength=block, stride=block + extra)
+    v = FileView(ft, disp=128)
+    segs = v.segments(offset, length)
+    assert sum(s.length for s in segs) == length
+    for a, b in zip(segs, segs[1:]):
+        assert a.end <= b.offset  # sorted, disjoint (merged when adjacent)
+    if segs:
+        assert segs[0].offset >= 128
+
+
+@given(
+    count=st.integers(min_value=1, max_value=6),
+    block=st.integers(min_value=1, max_value=32),
+    extra=st.integers(min_value=1, max_value=32),
+    n=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=100, deadline=None)
+def test_flatten_conservation_property(count, block, extra, n):
+    t = VectorType(count=count, blocklength=block, stride=block + extra)
+    segs = t.flatten(0, n)
+    assert sum(s.length for s in segs) == t.size * n
+    for a, b in zip(segs, segs[1:]):
+        assert a.end < b.offset or a.end <= b.offset

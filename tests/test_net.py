@@ -1,0 +1,110 @@
+"""Unit tests for the network model."""
+
+import pytest
+
+from repro.net import Network, NetworkParams
+from repro.sim import Simulator
+
+
+def test_transfer_time_is_overhead_latency_wire():
+    sim = Simulator()
+    params = NetworkParams(bandwidth_bytes_s=1e8, latency_s=1e-4, per_message_overhead_s=1e-5)
+    net = Network(sim, 2, params)
+
+    def proc():
+        yield from net.transfer(0, 1, 1_000_000)
+
+    sim.run_until_event(sim.process(proc()))
+    assert sim.now == pytest.approx(1e-5 + 1e-4 + 0.01)
+
+
+def test_loopback_costs_only_overhead():
+    sim = Simulator()
+    params = NetworkParams(per_message_overhead_s=5e-6)
+    net = Network(sim, 2, params)
+
+    def proc():
+        yield from net.transfer(0, 0, 10**9)
+
+    sim.run_until_event(sim.process(proc()))
+    assert sim.now == pytest.approx(5e-6)
+
+
+def test_fan_in_serialises_at_receiver():
+    """N senders to one receiver take ~N x wire time, not 1 x."""
+    sim = Simulator()
+    params = NetworkParams(bandwidth_bytes_s=1e8, latency_s=0.0, per_message_overhead_s=0.0)
+    net = Network(sim, 5, params)
+    size = 10_000_000  # 0.1 s of wire each
+
+    def sender(i):
+        yield from net.transfer(i, 4, size)
+
+    procs = [sim.process(sender(i)) for i in range(4)]
+    for p in procs:
+        sim.run_until_event(p)
+    assert sim.now == pytest.approx(0.4, rel=0.01)
+
+
+def test_distinct_receivers_proceed_in_parallel():
+    sim = Simulator()
+    params = NetworkParams(bandwidth_bytes_s=1e8, latency_s=0.0, per_message_overhead_s=0.0)
+    net = Network(sim, 4, params)
+    size = 10_000_000
+
+    def sender(src, dst):
+        yield from net.transfer(src, dst, size)
+
+    procs = [sim.process(sender(0, 2)), sim.process(sender(1, 3))]
+    for p in procs:
+        sim.run_until_event(p)
+    assert sim.now == pytest.approx(0.1, rel=0.01)
+
+
+def test_sender_tx_serialises_own_messages():
+    sim = Simulator()
+    params = NetworkParams(bandwidth_bytes_s=1e8, latency_s=0.0, per_message_overhead_s=0.0)
+    net = Network(sim, 3, params)
+    size = 10_000_000
+
+    def sender():
+        a = sim.process(net_iter(0, 1))
+        b = sim.process(net_iter(0, 2))
+        yield a
+        yield b
+
+    def net_iter(src, dst):
+        yield from net.transfer(src, dst, size)
+
+    sim.run_until_event(sim.process(sender()))
+    assert sim.now == pytest.approx(0.2, rel=0.01)
+
+
+def test_byte_counters():
+    sim = Simulator()
+    net = Network(sim, 2)
+
+    def proc():
+        yield from net.transfer(0, 1, 12345)
+
+    sim.run_until_event(sim.process(proc()))
+    assert net.nics[0].bytes_sent == 12345
+    assert net.nics[1].bytes_received == 12345
+    assert net.messages_delivered == 1
+
+
+def test_negative_bytes_rejected():
+    sim = Simulator()
+    net = Network(sim, 2)
+    with pytest.raises(ValueError):
+        list(net.transfer(0, 1, -1))
+
+
+def test_bad_params_rejected():
+    with pytest.raises(ValueError):
+        NetworkParams(bandwidth_bytes_s=0)
+    with pytest.raises(ValueError):
+        NetworkParams(latency_s=-1)
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Network(sim, 0)

@@ -1,0 +1,300 @@
+"""Unit tests for sim resources and stores."""
+
+import pytest
+
+from repro.sim import FilterStore, PriorityResource, Resource, SimulationError, Simulator, Store
+
+
+# ---------------------------------------------------------------- Resource
+
+
+def test_resource_grants_up_to_capacity():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    log = []
+
+    def user(tag, hold):
+        req = res.request()
+        yield req
+        log.append(("acq", tag, sim.now))
+        yield sim.timeout(hold)
+        res.release(req)
+        log.append(("rel", tag, sim.now))
+
+    for tag, hold in (("a", 5), ("b", 5), ("c", 5)):
+        sim.process(user(tag, hold))
+    sim.run()
+    # a and b acquire at t=0; c must wait until t=5.
+    assert ("acq", "a", 0) in log and ("acq", "b", 0) in log
+    assert ("acq", "c", 5) in log
+
+
+def test_resource_fifo_order():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def user(tag):
+        req = res.request()
+        yield req
+        order.append(tag)
+        yield sim.timeout(1)
+        res.release(req)
+
+    for tag in "abcd":
+        sim.process(user(tag))
+    sim.run()
+    assert order == list("abcd")
+
+
+def test_resource_count():
+    sim = Simulator()
+    res = Resource(sim, capacity=3)
+
+    def user():
+        req = res.request()
+        yield req
+        yield sim.timeout(10)
+        res.release(req)
+
+    sim.process(user())
+    sim.process(user())
+    sim.run(until=1)
+    assert res.count == 2
+
+
+def test_resource_release_queued_request_cancels():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    holder = res.request()  # granted immediately
+    waiting = res.request()  # queued
+    res.release(waiting)  # cancel the queued one
+    assert len(res.queue) == 0
+    res.release(holder)
+    assert res.count == 0
+
+
+def test_resource_release_unknown_raises():
+    sim = Simulator()
+    r1 = Resource(sim, capacity=1)
+    r2 = Resource(sim, capacity=1)
+    req = r1.request()
+    with pytest.raises(SimulationError):
+        r2.release(req)
+
+
+def test_resource_bad_capacity():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Resource(sim, capacity=0)
+
+
+def test_resource_context_manager():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def user(tag):
+        with res.request() as req:
+            yield req
+            order.append(tag)
+            yield sim.timeout(1)
+
+    sim.process(user("x"))
+    sim.process(user("y"))
+    sim.run()
+    assert order == ["x", "y"]
+
+
+# ------------------------------------------------------- PriorityResource
+
+
+def test_priority_resource_orders_waiters():
+    sim = Simulator()
+    res = PriorityResource(sim, capacity=1)
+    order = []
+
+    def holder():
+        req = res.request(priority=0)
+        yield req
+        yield sim.timeout(10)
+        res.release(req)
+
+    def user(tag, prio, start):
+        yield sim.timeout(start)
+        req = res.request(priority=prio)
+        yield req
+        order.append(tag)
+        res.release(req)
+
+    sim.process(holder())
+    sim.process(user("low", 5, 1))
+    sim.process(user("high", 1, 2))
+    sim.process(user("mid", 3, 3))
+    sim.run()
+    assert order == ["high", "mid", "low"]
+
+
+def test_priority_resource_fifo_within_priority():
+    sim = Simulator()
+    res = PriorityResource(sim, capacity=1)
+    order = []
+
+    def holder():
+        req = res.request()
+        yield req
+        yield sim.timeout(5)
+        res.release(req)
+
+    def user(tag):
+        req = res.request(priority=1)
+        yield req
+        order.append(tag)
+        res.release(req)
+
+    sim.process(holder())
+    for tag in "abc":
+        sim.process(user(tag))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+# ---------------------------------------------------------------- Store
+
+
+def test_store_fifo():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def producer():
+        for i in range(3):
+            yield store.put(i)
+            yield sim.timeout(1)
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert got == [0, 1, 2]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((sim.now, item))
+
+    def producer():
+        yield sim.timeout(4)
+        yield store.put("x")
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert got == [(4, "x")]
+
+
+def test_store_capacity_blocks_put():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    log = []
+
+    def producer():
+        yield store.put("a")
+        log.append(("put-a", sim.now))
+        yield store.put("b")
+        log.append(("put-b", sim.now))
+
+    def consumer():
+        yield sim.timeout(5)
+        item = yield store.get()
+        log.append(("got", item, sim.now))
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert ("put-a", 0) in log
+    assert ("got", "a", 5) in log
+    assert ("put-b", 5) in log
+
+
+def test_store_bad_capacity():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Store(sim, capacity=0)
+
+
+def test_store_len():
+    sim = Simulator()
+    store = Store(sim)
+    store.put(1)
+    store.put(2)
+    assert len(store) == 2
+
+
+# ------------------------------------------------------------ FilterStore
+
+
+def test_filter_store_matches_predicate():
+    sim = Simulator()
+    store = FilterStore(sim)
+    got = []
+
+    def consumer():
+        item = yield store.get(lambda x: x % 2 == 0)
+        got.append(item)
+
+    def producer():
+        yield store.put(1)
+        yield store.put(3)
+        yield sim.timeout(1)
+        yield store.put(4)
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert got == [4]
+    assert list(store.items) == [1, 3]
+
+
+def test_filter_store_default_predicate():
+    sim = Simulator()
+    store = FilterStore(sim)
+    store.put("only")
+    got = []
+
+    def consumer():
+        got.append((yield store.get()))
+
+    sim.process(consumer())
+    sim.run()
+    assert got == ["only"]
+
+
+def test_filter_store_multiple_waiters_distinct_predicates():
+    sim = Simulator()
+    store = FilterStore(sim)
+    got = {}
+
+    def consumer(name, pred):
+        got[name] = yield store.get(pred)
+
+    sim.process(consumer("even", lambda x: x % 2 == 0))
+    sim.process(consumer("odd", lambda x: x % 2 == 1))
+
+    def producer():
+        yield sim.timeout(1)
+        yield store.put(7)
+        yield store.put(8)
+
+    sim.process(producer())
+    sim.run()
+    assert got == {"even": 8, "odd": 7}

@@ -1,0 +1,108 @@
+"""Unit tests for blktrace and throughput timeline recorders."""
+
+import pytest
+
+from repro.trace import BlkTrace, ThroughputTimeline
+
+
+def make_trace(records):
+    tr = BlkTrace()
+    for t, lbn, n, op in records:
+        tr.hook(t, lbn, n, op)
+    return tr
+
+
+def test_window_filters_by_time():
+    tr = make_trace([(0.1, 0, 8, "R"), (0.5, 8, 8, "R"), (0.9, 16, 8, "R")])
+    assert len(tr.window(0.4, 0.8)) == 1
+    assert len(tr.window(0.0, 1.0)) == 3
+
+
+def test_to_arrays():
+    tr = make_trace([(0.1, 100, 8, "R"), (0.2, 200, 8, "R")])
+    times, lbns = tr.to_arrays()
+    assert list(times) == [0.1, 0.2]
+    assert list(lbns) == [100, 200]
+
+
+def test_mean_seek_distance_sequential_is_zero():
+    tr = make_trace([(0.1, 0, 8, "R"), (0.2, 8, 8, "R"), (0.3, 16, 8, "R")])
+    assert tr.mean_seek_distance() == 0.0
+
+
+def test_mean_seek_distance_gaps():
+    tr = make_trace([(0.1, 0, 8, "R"), (0.2, 108, 8, "R")])
+    assert tr.mean_seek_distance() == 100.0
+
+
+def test_mean_seek_distance_empty():
+    assert make_trace([]).mean_seek_distance() == 0.0
+
+
+def test_monotonicity_forward_sweep():
+    tr = make_trace([(t, lbn, 8, "R") for t, lbn in [(0.1, 0), (0.2, 100), (0.3, 200)]])
+    assert tr.monotonicity() == 1.0
+
+
+def test_monotonicity_pingpong():
+    tr = make_trace(
+        [(t, lbn, 8, "R") for t, lbn in [(0.1, 0), (0.2, 1000), (0.3, 0), (0.4, 1000)]]
+    )
+    assert tr.monotonicity() == pytest.approx(2 / 3)
+
+
+def test_ascii_plot_renders():
+    tr = make_trace([(0.1 * i, i * 100, 8, "R") for i in range(10)])
+    art = tr.ascii_plot(0.0, 1.0, width=20, height=5)
+    assert "accesses" in art
+    assert "*" in art
+
+
+def test_ascii_plot_empty_window():
+    tr = make_trace([(0.1, 0, 8, "R")])
+    assert "no accesses" in tr.ascii_plot(5.0, 6.0)
+
+
+# ------------------------------------------------------------ timeline
+
+
+def test_timeline_series_windows():
+    tl = ThroughputTimeline()
+    tl.record(0.5, 10_000_000)
+    tl.record(1.5, 20_000_000)
+    series = tl.series(window_s=1.0)
+    assert series[0] == (0.0, pytest.approx(10.0))
+    assert series[1] == (1.0, pytest.approx(20.0))
+
+
+def test_timeline_extends_to_t_end():
+    tl = ThroughputTimeline()
+    tl.record(0.5, 1_000_000)
+    series = tl.series(window_s=1.0, t_end=3.5)
+    assert len(series) == 4
+    assert series[-1][1] == 0.0
+
+
+def test_timeline_mean():
+    tl = ThroughputTimeline()
+    tl.record(1.0, 5_000_000)
+    tl.record(2.0, 5_000_000)
+    # Window [0, 2.5): both samples included, span capped at last sample.
+    assert tl.mean_mb_s(0.0, 2.5) == pytest.approx(5.0)
+    # Half-open window excludes the t=2.0 sample.
+    assert tl.mean_mb_s(0.0, 2.0) == pytest.approx(2.5)
+
+
+def test_timeline_empty():
+    tl = ThroughputTimeline()
+    assert tl.series() == []
+    assert tl.mean_mb_s() == 0.0
+    assert tl.total_bytes == 0
+
+
+def test_timeline_rejects_negative():
+    tl = ThroughputTimeline()
+    with pytest.raises(ValueError):
+        tl.record(0.0, -5)
+    with pytest.raises(ValueError):
+        tl.series(window_s=0)
