@@ -1,6 +1,7 @@
 PYTHON ?= python
+NPROC ?= $(shell nproc 2>/dev/null || echo 1)
 
-.PHONY: install test bench examples results clean
+.PHONY: install test test-fast bench bench-fast bench-kernel examples results clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -8,8 +9,24 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
+# Tier-1 tests fanned out with pytest-xdist when available (dev extra);
+# falls back to the serial run otherwise.
+test-fast:
+	@$(PYTHON) -c "import xdist" 2>/dev/null \
+		&& $(PYTHON) -m pytest tests/ -n $(NPROC) -q \
+		|| { echo "pytest-xdist not installed; running serially"; \
+		     $(PYTHON) -m pytest tests/ -q; }
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Benchmark grids with process fan-out across all CPUs and the on-disk
+# result cache enabled: a warm re-run only recomputes changed cells.
+bench-fast:
+	BENCH_JOBS=$(NPROC) $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-kernel:
+	$(PYTHON) benchmarks/bench_kernel_micro.py
 
 # Regenerate the archived outputs referenced by EXPERIMENTS.md.
 results:
@@ -20,5 +37,5 @@ examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f; done
 
 clean:
-	rm -rf .pytest_cache .benchmarks src/repro.egg-info
+	rm -rf .pytest_cache .benchmarks .bench_cache src/repro.egg-info
 	find . -name __pycache__ -type d -exec rm -rf {} +

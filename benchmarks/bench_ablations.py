@@ -18,16 +18,18 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import run_once
+from conftest import bench_jobs, run_once
 from repro import (
     Demo,
     DualParConfig,
+    ExperimentSpec,
     Hpio,
     JobSpec,
     MpiIoTest,
     Noncontig,
     format_table,
     run_experiment,
+    run_experiments,
 )
 from repro.cluster import paper_spec
 
@@ -36,17 +38,25 @@ NPROCS = 32
 
 def test_ablation_io_scheduler(benchmark, report):
     def run():
+        scheds = ("cfq", "deadline", "noop", "anticipatory")
+        strategies = ("vanilla", "dualpar-forced")
+        cells = [
+            ExperimentSpec(
+                [JobSpec("m", NPROCS,
+                         MpiIoTest(file_size=48 * 1024 * 1024, barrier_every=4),
+                         strategy=strategy)],
+                cluster_spec=paper_spec(io_scheduler=sched),
+                label=f"{sched}/{strategy}",
+            )
+            for sched in scheds
+            for strategy in strategies
+        ]
+        results = run_experiments(cells, jobs=bench_jobs())
         rows = []
-        for sched in ("cfq", "deadline", "noop", "anticipatory"):
+        for i, sched in enumerate(scheds):
             row = [sched]
-            for strategy in ("vanilla", "dualpar-forced"):
-                res = run_experiment(
-                    [JobSpec("m", NPROCS,
-                             MpiIoTest(file_size=48 * 1024 * 1024, barrier_every=4),
-                             strategy=strategy)],
-                    cluster_spec=paper_spec(io_scheduler=sched),
-                )
-                row.append(res.jobs[0].throughput_mb_s)
+            for si in range(len(strategies)):
+                row.append(results[i * len(strategies) + si].jobs[0].throughput_mb_s)
             rows.append(row)
         return rows
 
@@ -86,13 +96,20 @@ def test_ablation_t_improvement(benchmark, report):
                     Hpio(file_name="b.dat", region_count=4096, region_bytes=16 * 1024),
                     strategy="dualpar", delay_s=1.0),
         ]
-        return run_experiment(specs, cluster_spec=spec, dualpar_config=cfg)
+        return ExperimentSpec(
+            specs, cluster_spec=spec, dualpar_config=cfg, label=f"T={t_improvement}"
+        )
 
     def run():
+        thresholds = (1.0, 3.0, 10.0, 30.0)
+        results = run_experiments(
+            [scenario(t) for t in thresholds], jobs=bench_jobs()
+        )
         rows = []
-        for t in (1.0, 3.0, 10.0, 30.0):
-            res = scenario(t)
-            switched = len({n for _, n, m in res.dualpar.transitions if m == "datadriven"})
+        for t, res in zip(thresholds, results):
+            switched = len(
+                {n for _, n, m in res.dualpar_transitions if m == "datadriven"}
+            )
             rows.append([t, res.system_throughput_mb_s, switched])
         return rows
 
@@ -117,12 +134,11 @@ def test_ablation_hole_filling(benchmark, report):
     sequential requests at the cost of extra data moved."""
 
     def run():
-        rows = []
-        for fill in (True, False):
-            # Regions spaced so that whole cache chunks fall in the holes
-            # (holes smaller than a chunk are bridged by chunk alignment
-            # regardless of the flag).
-            res = run_experiment(
+        # Regions spaced so that whole cache chunks fall in the holes
+        # (holes smaller than a chunk are bridged by chunk alignment
+        # regardless of the flag).
+        cells = [
+            ExperimentSpec(
                 [JobSpec("h", NPROCS,
                          Hpio(region_count=1536, region_bytes=16 * 1024,
                               region_spacing=112 * 1024),
@@ -131,8 +147,14 @@ def test_ablation_hole_filling(benchmark, report):
                 dualpar_config=DualParConfig(
                     fill_holes=fill, hole_threshold_bytes=128 * 1024
                 ),
+                label=f"fill={fill}",
             )
-            extra = res.cluster.total_bytes_served() / max(res.jobs[0].bytes_read, 1)
+            for fill in (True, False)
+        ]
+        results = run_experiments(cells, jobs=bench_jobs())
+        rows = []
+        for fill, res in zip((True, False), results):
+            extra = res.total_bytes_served / max(res.jobs[0].bytes_read, 1)
             rows.append(["on" if fill else "off", res.jobs[0].throughput_mb_s, extra])
         return rows
 
@@ -160,12 +182,11 @@ def test_ablation_list_io(benchmark, report):
     def run():
         from repro import SyntheticPattern
 
-        rows = []
-        for use in (True, False):
-            # A random access order leaves the CRM's per-cycle chunk set
-            # scattered: with list I/O each server gets ONE multi-range
-            # message, without it every extent is its own RPC.
-            res = run_experiment(
+        # A random access order leaves the CRM's per-cycle chunk set
+        # scattered: with list I/O each server gets ONE multi-range
+        # message, without it every extent is its own RPC.
+        cells = [
+            ExperimentSpec(
                 [JobSpec("r", NPROCS,
                          SyntheticPattern(file_size=64 * 1024 * 1024,
                                           request_bytes=16 * 1024,
@@ -173,9 +194,15 @@ def test_ablation_list_io(benchmark, report):
                          strategy="dualpar-forced")],
                 cluster_spec=paper_spec(),
                 dualpar_config=DualParConfig(use_list_io=use, fill_holes=False),
+                label=f"list_io={use}",
             )
-            rows.append(["on" if use else "off", res.jobs[0].throughput_mb_s])
-        return rows
+            for use in (True, False)
+        ]
+        results = run_experiments(cells, jobs=bench_jobs())
+        return [
+            ["on" if use else "off", res.jobs[0].throughput_mb_s]
+            for use, res in zip((True, False), results)
+        ]
 
     rows = run_once(benchmark, run)
     report(
@@ -265,18 +292,23 @@ def test_ablation_ghost_compute(benchmark, report):
     slicing in the real world (DualPar retains it on purpose)."""
 
     def run():
-        rows = []
-        for factor in (1.0, 0.0):
-            res = run_experiment(
+        cells = [
+            ExperimentSpec(
                 [JobSpec("d", 8,
                          Demo(file_size=24 * 1024 * 1024, segment_bytes=4096,
                               compute_per_call=0.002, nprocs_hint=8),
                          strategy="dualpar-forced")],
                 cluster_spec=paper_spec(n_compute_nodes=8),
                 dualpar_config=DualParConfig(ghost_compute_factor=factor),
+                label=f"ghost={factor:.0%}",
             )
-            rows.append([f"{factor:.0%}", res.jobs[0].elapsed_s])
-        return rows
+            for factor in (1.0, 0.0)
+        ]
+        results = run_experiments(cells, jobs=bench_jobs())
+        return [
+            [f"{factor:.0%}", res.jobs[0].elapsed_s]
+            for factor, res in zip((1.0, 0.0), results)
+        ]
 
     rows = run_once(benchmark, run)
     report(

@@ -18,8 +18,16 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import run_once
-from repro import IorMpiIo, JobSpec, MpiIoTest, Noncontig, format_table, run_experiment
+from conftest import bench_jobs, run_once
+from repro import (
+    ExperimentSpec,
+    IorMpiIo,
+    JobSpec,
+    MpiIoTest,
+    Noncontig,
+    format_table,
+    run_experiments,
+)
 from repro.cluster import paper_spec
 
 NPROCS = 64
@@ -35,15 +43,21 @@ def workloads(op: str):
 
 
 def run_grid(op: str):
+    cells = [
+        ExperimentSpec(
+            [JobSpec(wname, NPROCS, build(), strategy=scheme)],
+            cluster_spec=paper_spec(),
+            label=f"{wname}/{scheme}",
+        )
+        for wname, build in workloads(op)
+        for scheme in SCHEMES
+    ]
+    results = run_experiments(cells, jobs=bench_jobs())
     rows = []
-    for wname, build in workloads(op):
+    for wi, (wname, _build) in enumerate(workloads(op)):
         row = [wname]
-        for scheme in SCHEMES:
-            res = run_experiment(
-                [JobSpec(wname, NPROCS, build(), strategy=scheme)],
-                cluster_spec=paper_spec(),
-            )
-            row.append(res.jobs[0].throughput_mb_s)
+        for si in range(len(SCHEMES)):
+            row.append(results[wi * len(SCHEMES) + si].jobs[0].throughput_mb_s)
         rows.append(row)
     return rows
 

@@ -14,8 +14,8 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import run_once
-from repro import Btio, JobSpec, format_table, run_experiment
+from conftest import bench_jobs, run_once
+from repro import Btio, ExperimentSpec, JobSpec, format_table, run_experiments
 from repro.cluster import paper_spec
 
 N_INSTANCES = 3
@@ -47,14 +47,21 @@ def make_specs(nprocs: int, scheme: str):
 
 def test_fig4_btio_scaling(benchmark, report):
     def run():
+        cells = [
+            ExperimentSpec(
+                make_specs(nprocs, scheme),
+                cluster_spec=paper_spec(),
+                label=f"P={nprocs}/{scheme}",
+            )
+            for nprocs in NPROCS_SWEEP
+            for scheme in SCHEMES
+        ]
+        results = run_experiments(cells, jobs=bench_jobs())
         rows = []
-        for nprocs in NPROCS_SWEEP:
+        for pi, nprocs in enumerate(NPROCS_SWEEP):
             row = [nprocs]
-            for scheme in SCHEMES:
-                res = run_experiment(
-                    make_specs(nprocs, scheme), cluster_spec=paper_spec()
-                )
-                row.append(res.system_throughput_mb_s)
+            for si in range(len(SCHEMES)):
+                row.append(results[pi * len(SCHEMES) + si].system_throughput_mb_s)
             rows.append(row)
         return rows
 

@@ -11,8 +11,15 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import run_once
-from repro import Btio, DualParConfig, JobSpec, format_table, run_experiment
+from conftest import bench_jobs, run_once
+from repro import (
+    Btio,
+    DualParConfig,
+    ExperimentSpec,
+    JobSpec,
+    format_table,
+    run_experiments,
+)
 from repro.cluster import paper_spec
 
 NPROCS = 64
@@ -32,21 +39,29 @@ def make_workload():
 
 def test_fig8_cache_size_sweep(benchmark, report):
     def run():
-        rows = []
-        for kb in QUOTAS_KB:
-            res = run_experiment(
+        cells = [
+            ExperimentSpec(
                 [JobSpec("btio", NPROCS, make_workload(), strategy="dualpar-forced")],
                 cluster_spec=paper_spec(),
                 dualpar_config=DualParConfig(quota_bytes=kb * 1024),
+                label=f"{kb} KB",
             )
-            rows.append([f"{kb} KB", res.jobs[0].throughput_mb_s])
+            for kb in QUOTAS_KB
+        ]
         # Vanilla reference (the paper's 0 KB equivalence claim).
-        res_v = run_experiment(
-            [JobSpec("btio", NPROCS, make_workload(), strategy="vanilla")],
-            cluster_spec=paper_spec(),
+        cells.append(
+            ExperimentSpec(
+                [JobSpec("btio", NPROCS, make_workload(), strategy="vanilla")],
+                cluster_spec=paper_spec(),
+                label="vanilla",
+            )
         )
-        rows.append(["vanilla", res_v.jobs[0].throughput_mb_s])
-        return rows
+        results = run_experiments(cells, jobs=bench_jobs())
+        labels = [f"{kb} KB" for kb in QUOTAS_KB] + ["vanilla"]
+        return [
+            [label, res.jobs[0].throughput_mb_s]
+            for label, res in zip(labels, results)
+        ]
 
     rows = run_once(benchmark, run)
     report(

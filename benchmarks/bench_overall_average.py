@@ -16,8 +16,16 @@ import math
 
 import pytest
 
-from conftest import run_once
-from repro import IorMpiIo, JobSpec, MpiIoTest, Noncontig, format_table, run_experiment
+from conftest import bench_jobs, run_once
+from repro import (
+    ExperimentSpec,
+    IorMpiIo,
+    JobSpec,
+    MpiIoTest,
+    Noncontig,
+    format_table,
+    run_experiments,
+)
 from repro.cluster import paper_spec
 
 NPROCS = 64
@@ -35,15 +43,23 @@ def grid():
 
 def test_overall_average_improvement(benchmark, report):
     def run():
+        schemes = ("vanilla", "collective", "dualpar-forced")
+        specs = [
+            ExperimentSpec(
+                [JobSpec(name, NPROCS, workload, strategy=scheme)],
+                cluster_spec=paper_spec(),
+                label=f"{name}/{scheme}",
+            )
+            for name, workload in grid()
+            for scheme in schemes
+        ]
+        results = run_experiments(specs, jobs=bench_jobs())
         rows = []
-        for name, workload in grid():
-            cells = {}
-            for scheme in ("vanilla", "collective", "dualpar-forced"):
-                res = run_experiment(
-                    [JobSpec(name, NPROCS, workload, strategy=scheme)],
-                    cluster_spec=paper_spec(),
-                )
-                cells[scheme] = res.jobs[0].throughput_mb_s
+        for wi, (name, _workload) in enumerate(grid()):
+            cells = {
+                scheme: results[wi * len(schemes) + si].jobs[0].throughput_mb_s
+                for si, scheme in enumerate(schemes)
+            }
             best_base = max(cells["vanilla"], cells["collective"])
             rows.append(
                 [

@@ -29,11 +29,14 @@ from repro.cluster import ClusterSpec, build_cluster
 from repro.core import DualParConfig, DualParSystem
 from repro.mpi import MpiRuntime
 from repro.runner import (
+    ExperimentSpec,
     JobResult,
     JobSpec,
+    SlimExperimentResult,
     calibrate_compute_for_ratio,
     format_table,
     run_experiment,
+    run_experiments,
 )
 from repro.workloads import (
     Btio,
@@ -56,10 +59,12 @@ __all__ = [
     "DependentReads",
     "DualParConfig",
     "DualParSystem",
+    "ExperimentSpec",
     "Hpio",
     "IorMpiIo",
     "JobResult",
     "JobSpec",
+    "SlimExperimentResult",
     "MpiIoTest",
     "MpiRuntime",
     "Noncontig",
@@ -69,5 +74,6 @@ __all__ = [
     "calibrate_compute_for_ratio",
     "format_table",
     "run_experiment",
+    "run_experiments",
     "__version__",
 ]

@@ -21,7 +21,13 @@ from typing import Callable, Optional
 
 from repro.cluster import ClusterSpec, paper_spec
 from repro.core.config import DualParConfig
-from repro.runner import JobSpec, format_table, run_experiment
+from repro.runner import (
+    ExperimentSpec,
+    JobSpec,
+    format_table,
+    run_experiment,
+    run_experiments,
+)
 from repro.runner.strategies import STRATEGY_NAMES
 from repro.workloads import (
     Btio,
@@ -170,14 +176,25 @@ def cmd_run(args) -> int:
 
 
 def cmd_compare(args) -> int:
-    rows = []
-    for strategy in args.strategies:
-        workload = build_workload(args.workload, args.size_mb, args.op, args.nprocs)
-        result = run_experiment(
-            [JobSpec(args.workload, args.nprocs, workload, strategy=strategy)],
+    specs = [
+        ExperimentSpec(
+            [
+                JobSpec(
+                    args.workload,
+                    args.nprocs,
+                    build_workload(args.workload, args.size_mb, args.op, args.nprocs),
+                    strategy=strategy,
+                )
+            ],
             cluster_spec=_cluster_from_args(args),
             dualpar_config=_dualpar_from_args(args),
+            label=strategy,
         )
+        for strategy in args.strategies
+    ]
+    results = run_experiments(specs, jobs=args.jobs, cache=not args.no_cache)
+    rows = []
+    for strategy, result in zip(args.strategies, results):
         j = result.jobs[0]
         rows.append([strategy, j.elapsed_s, j.throughput_mb_s])
     print(
@@ -237,7 +254,13 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--workload", default="mpi-io-test", help="see list-workloads")
     p.add_argument("--nprocs", type=int, default=64, help="MPI ranks")
     p.add_argument("--size-mb", type=int, default=64, help="data volume (MB)")
-    p.add_argument("--op", choices=["R", "W"], default="R", help="read or write")
+    p.add_argument(
+        "--op",
+        type=str.lower,
+        choices=["r", "w", "read", "write"],
+        default="R",
+        help="read or write (case-insensitive aliases accepted)",
+    )
     p.add_argument("--compute-nodes", type=int, default=32)
     p.add_argument("--data-servers", type=int, default=9)
     p.add_argument(
@@ -274,6 +297,18 @@ def make_parser() -> argparse.ArgumentParser:
         nargs="+",
         choices=STRATEGY_NAMES,
         default=["vanilla", "collective", "dualpar-forced"],
+    )
+    p_cmp.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the strategy fan-out (default: all CPUs)",
+    )
+    p_cmp.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every cell instead of reading .bench_cache/",
     )
     p_cmp.set_defaults(func=cmd_compare)
 

@@ -13,17 +13,25 @@
 """
 
 from repro.runner.experiment import ExperimentResult, JobResult, JobSpec, run_experiment
+from repro.runner.parallel import (
+    ExperimentSpec,
+    SlimExperimentResult,
+    run_experiments,
+)
 from repro.runner.results import format_table
 from repro.runner.strategies import STRATEGY_NAMES, resolve_strategy
 from repro.runner.calibrate import calibrate_compute_for_ratio
 
 __all__ = [
     "ExperimentResult",
+    "ExperimentSpec",
     "JobResult",
     "JobSpec",
     "STRATEGY_NAMES",
+    "SlimExperimentResult",
     "calibrate_compute_for_ratio",
     "format_table",
     "resolve_strategy",
     "run_experiment",
+    "run_experiments",
 ]

@@ -1,0 +1,313 @@
+"""Parallel experiment fan-out with deterministic on-disk result caching.
+
+The benchmark grids run dozens of *independent* ``run_experiment`` cells:
+each cell builds its own :class:`~repro.sim.core.Simulator`, so no state
+crosses cells and running them in separate processes cannot change any
+result.  This module provides:
+
+- :class:`ExperimentSpec` -- a picklable description of one cell (the
+  exact arguments of :func:`repro.runner.experiment.run_experiment`);
+- :class:`SlimExperimentResult` -- the picklable subset of
+  :class:`~repro.runner.experiment.ExperimentResult` the benches consume
+  (per-job measurements plus a few cluster/DualPar summaries);
+- :func:`run_experiments` -- evaluate many cells, fanning out over a
+  process pool and memoising each cell on disk under ``.bench_cache/``
+  keyed by a fingerprint of (workloads, cluster spec, strategy, config,
+  code version).  Re-running a sweep only recomputes changed cells.
+
+Environment knobs::
+
+    REPRO_BENCH_CACHE     cache directory (default ``.bench_cache``)
+    REPRO_NO_BENCH_CACHE  set to disable the cache entirely
+    REPRO_JOBS            default worker count (default: cpu count)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.cluster import ClusterSpec
+from repro.core.config import DualParConfig
+from repro.runner.experiment import (
+    ExperimentResult,
+    JobResult,
+    JobSpec,
+    run_experiment,
+)
+
+__all__ = [
+    "CacheStats",
+    "ExperimentSpec",
+    "SlimExperimentResult",
+    "clear_cache",
+    "default_cache_dir",
+    "experiment_fingerprint",
+    "run_experiments",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One independent experiment cell (the arguments of run_experiment)."""
+
+    specs: tuple[JobSpec, ...]
+    cluster_spec: Optional[ClusterSpec] = None
+    dualpar_config: Optional[DualParConfig] = None
+    timeline_window_s: Optional[float] = None
+    limit_s: float = 1e6
+    #: Free-form display label; not part of the cache fingerprint.
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        # Accept lists for convenience; store a tuple so the spec hashes.
+        if not isinstance(self.specs, tuple):
+            object.__setattr__(self, "specs", tuple(self.specs))
+
+
+@dataclass
+class SlimExperimentResult:
+    """The picklable (and therefore cacheable) view of one cell's result.
+
+    Mirrors the measurement surface of :class:`ExperimentResult`; the live
+    simulator, cluster, and MPI job objects are deliberately absent.
+    """
+
+    jobs: list[JobResult]
+    makespan_s: float
+    #: Bytes the data servers moved (requested + hole-filled + readahead).
+    total_bytes_served: int = 0
+    #: DualPar EMC (time, job name, new mode) transitions, if any.
+    dualpar_transitions: list[tuple[float, str, str]] = field(default_factory=list)
+    #: Windowed throughput timeline, when timeline_window_s was given.
+    timeline: Optional[Any] = None
+
+    @property
+    def system_throughput_mb_s(self) -> float:
+        total = sum(j.total_bytes for j in self.jobs)
+        return total / 1e6 / self.makespan_s if self.makespan_s > 0 else 0.0
+
+    @property
+    def total_io_time_s(self) -> float:
+        return sum(j.io_time_s for j in self.jobs)
+
+    def job(self, name: str) -> JobResult:
+        for j in self.jobs:
+            if j.name == name:
+                return j
+        raise KeyError(name)
+
+    @classmethod
+    def from_full(cls, res: ExperimentResult) -> "SlimExperimentResult":
+        return cls(
+            jobs=list(res.jobs),
+            makespan_s=res.makespan_s,
+            total_bytes_served=res.cluster.total_bytes_served(),
+            dualpar_transitions=list(res.dualpar.transitions) if res.dualpar else [],
+            timeline=res.timeline,
+        )
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for the most recent :func:`run_experiments`."""
+
+    hits: int = 0
+    misses: int = 0
+    errors: int = 0
+
+
+#: Stats of the most recent run_experiments() call (for tests/reporting).
+LAST_RUN_STATS = CacheStats()
+
+
+# -- fingerprinting -----------------------------------------------------
+
+_CODE_FINGERPRINT: Optional[str] = None
+
+
+def _code_fingerprint() -> str:
+    """Hash of every .py file in the repro package: a new code version
+    invalidates all cached results."""
+    global _CODE_FINGERPRINT
+    if _CODE_FINGERPRINT is None:
+        import repro
+
+        pkg_root = Path(repro.__file__).parent
+        h = hashlib.sha256()
+        for path in sorted(pkg_root.rglob("*.py")):
+            h.update(str(path.relative_to(pkg_root)).encode())
+            h.update(path.read_bytes())
+        _CODE_FINGERPRINT = h.hexdigest()
+    return _CODE_FINGERPRINT
+
+
+def _canonical(obj: Any) -> Any:
+    """Reduce obj to a deterministic, repr-stable structure."""
+    if obj is None or isinstance(obj, (bool, int, float, str, bytes)):
+        return obj
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return (
+            type(obj).__qualname__,
+            tuple(
+                (f.name, _canonical(getattr(obj, f.name)))
+                for f in dataclasses.fields(obj)
+            ),
+        )
+    if isinstance(obj, dict):
+        return ("dict", tuple((k, _canonical(v)) for k, v in sorted(obj.items())))
+    if isinstance(obj, (list, tuple)):
+        return ("seq", tuple(_canonical(v) for v in obj))
+    if hasattr(obj, "__dict__"):
+        # Workloads and other plain config objects: class + attributes.
+        return (
+            type(obj).__qualname__,
+            tuple((k, _canonical(v)) for k, v in sorted(vars(obj).items())),
+        )
+    return repr(obj)
+
+
+def experiment_fingerprint(spec: ExperimentSpec) -> str:
+    """Deterministic key for one cell: parameters + code version."""
+    payload = _canonical(
+        (
+            tuple(spec.specs),
+            spec.cluster_spec,
+            spec.dualpar_config,
+            spec.timeline_window_s,
+            spec.limit_s,
+        )
+    )
+    h = hashlib.sha256()
+    h.update(_code_fingerprint().encode())
+    h.update(repr(payload).encode())
+    return h.hexdigest()
+
+
+# -- cache --------------------------------------------------------------
+
+
+def default_cache_dir() -> Path:
+    return Path(os.environ.get("REPRO_BENCH_CACHE", ".bench_cache"))
+
+
+def clear_cache(cache_dir: Optional[Path] = None) -> int:
+    """Delete all cached results; returns the number of entries removed."""
+    cache_dir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    n = 0
+    if cache_dir.is_dir():
+        for f in cache_dir.glob("*.pkl"):
+            try:
+                f.unlink()
+                n += 1
+            except OSError:
+                pass
+    return n
+
+
+def _cache_load(path: Path) -> Optional[SlimExperimentResult]:
+    """Read one entry; any corruption (truncation, bad pickle, wrong type)
+    is treated as a miss, never an error."""
+    try:
+        with path.open("rb") as f:
+            obj = pickle.load(f)
+    except Exception:
+        return None
+    return obj if isinstance(obj, SlimExperimentResult) else None
+
+
+def _cache_store(path: Path, result: SlimExperimentResult) -> None:
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as f:
+                pickle.dump(result, f)
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+    except OSError:
+        pass  # caching is best-effort; never fail the experiment
+
+
+# -- execution ----------------------------------------------------------
+
+
+def _run_spec(spec: ExperimentSpec) -> SlimExperimentResult:
+    """Worker entry point: evaluate one cell from scratch."""
+    res = run_experiment(
+        list(spec.specs),
+        cluster_spec=spec.cluster_spec,
+        dualpar_config=spec.dualpar_config,
+        timeline_window_s=spec.timeline_window_s,
+        limit_s=spec.limit_s,
+    )
+    return SlimExperimentResult.from_full(res)
+
+
+def _default_jobs() -> int:
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        try:
+            return max(int(env), 1)
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+def run_experiments(
+    specs: list[ExperimentSpec],
+    jobs: Optional[int] = None,
+    cache: bool = True,
+    cache_dir: Optional[Path] = None,
+) -> list[SlimExperimentResult]:
+    """Evaluate independent experiment cells, in parallel and memoised.
+
+    Results come back in input order.  Cached cells are served from
+    ``cache_dir`` without simulating; the remaining cells fan out over a
+    process pool of ``jobs`` workers (``jobs=1`` runs inline, which is
+    also the fallback on single-CPU hosts).
+    """
+    global LAST_RUN_STATS
+    stats = CacheStats()
+    LAST_RUN_STATS = stats
+    if jobs is None:
+        jobs = _default_jobs()
+    use_cache = cache and not os.environ.get("REPRO_NO_BENCH_CACHE")
+    cdir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+
+    results: list[Optional[SlimExperimentResult]] = [None] * len(specs)
+    misses: list[int] = []
+    paths: list[Optional[Path]] = [None] * len(specs)
+    for i, spec in enumerate(specs):
+        if use_cache:
+            paths[i] = cdir / f"{experiment_fingerprint(spec)}.pkl"
+            hit = _cache_load(paths[i])
+            if hit is not None:
+                results[i] = hit
+                stats.hits += 1
+                continue
+        misses.append(i)
+    stats.misses = len(misses)
+
+    if len(misses) <= 1 or jobs <= 1:
+        for i in misses:
+            results[i] = _run_spec(specs[i])
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(misses))) as pool:
+            for i, res in zip(misses, pool.map(_run_spec, (specs[i] for i in misses))):
+                results[i] = res
+
+    if use_cache:
+        for i in misses:
+            if paths[i] is not None and results[i] is not None:
+                _cache_store(paths[i], results[i])
+    return results  # type: ignore[return-value]

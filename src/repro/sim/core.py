@@ -10,12 +10,22 @@ generator yields must be an :class:`Event`, and the process is resumed (via
 Determinism: ties in time are broken first by an integer priority (lower
 runs first) and then by a monotonically increasing sequence number, so a
 simulation is a pure function of its inputs.
+
+Performance: the inner loop is allocation-light.  :class:`Timeout` events
+are recycled through a per-simulator free list (see
+:meth:`Simulator.timeout`); recycling is guarded by a CPython refcount
+check so an event that any other code still holds is never reused.  Set
+``REPRO_NO_EVENT_POOL=1`` to disable the pool (simulators created while
+the variable is set allocate a fresh ``Timeout`` per call; scheduling
+order, and therefore every simulated result, is identical either way).
 """
 
 from __future__ import annotations
 
-import heapq
+import os
 from collections.abc import Generator
+from heapq import heappop, heappush
+from sys import getrefcount
 from typing import Any, Callable, Optional
 
 __all__ = [
@@ -33,6 +43,9 @@ __all__ = [
 NORMAL = 1
 #: Priority used for urgent bookkeeping events (interrupts, process resume).
 URGENT = 0
+
+#: Upper bound on recycled Timeout objects kept per simulator.
+_POOL_MAX = 4096
 
 
 class SimulationError(Exception):
@@ -105,7 +118,9 @@ class Event:
         self._triggered = True
         self._ok = True
         self._value = value
-        self.sim._enqueue(self, delay=0.0, priority=priority)
+        sim = self.sim
+        sim._seq += 1
+        heappush(sim._heap, (sim._now, priority, sim._seq, self))
         return self
 
     def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
@@ -117,14 +132,17 @@ class Event:
         self._triggered = True
         self._ok = False
         self._value = exception
-        self.sim._enqueue(self, delay=0.0, priority=priority)
+        sim = self.sim
+        sim._seq += 1
+        heappush(sim._heap, (sim._now, priority, sim._seq, self))
         return self
 
     # -- internals -----------------------------------------------------
 
     def _process(self) -> None:
         """Run callbacks; called by the simulator when dequeued."""
-        callbacks, self.callbacks = self.callbacks, None
+        callbacks = self.callbacks
+        self.callbacks = None
         self._processed = True
         for cb in callbacks:
             cb(self)
@@ -152,7 +170,8 @@ class Timeout(Event):
         self._triggered = True
         self._ok = True
         self._value = value
-        sim._enqueue(self, delay=delay, priority=NORMAL)
+        sim._seq += 1
+        heappush(sim._heap, (sim._now + delay, NORMAL, sim._seq, self))
 
 
 class _Initialize(Event):
@@ -162,7 +181,7 @@ class _Initialize(Event):
 
     def __init__(self, sim: "Simulator", process: "Process"):
         super().__init__(sim)
-        self.callbacks.append(process._resume)
+        self.callbacks.append(process._resume_cb)
         self._triggered = True
         self._ok = True
         self._value = None
@@ -177,7 +196,7 @@ class Process(Event):
     (or the exception thrown in, if the event failed).
     """
 
-    __slots__ = ("gen", "name", "_target")
+    __slots__ = ("gen", "name", "_target", "_resume_cb", "_send", "_throw")
 
     def __init__(self, sim: "Simulator", gen: Generator, name: Optional[str] = None):
         if not hasattr(gen, "send") or not hasattr(gen, "throw"):
@@ -188,6 +207,11 @@ class Process(Event):
         #: The event this process is currently waiting on (None if running
         #: or finished).  Used by interrupt() to detach.
         self._target: Optional[Event] = None
+        # Pre-bound hot-path callables: binding a method allocates, and
+        # _resume is registered as a callback once per yield.
+        self._resume_cb = self._resume
+        self._send = gen.send
+        self._throw = gen.throw
         _Initialize(sim, self)
 
     @property
@@ -207,7 +231,7 @@ class Process(Event):
             raise SimulationError("a process cannot interrupt itself")
         interrupt_ev = Event(self.sim)
         interrupt_ev._defused = True
-        interrupt_ev.callbacks.append(self._resume)
+        interrupt_ev.callbacks.append(self._resume_cb)
         interrupt_ev._triggered = True
         interrupt_ev._ok = False
         interrupt_ev._value = Interrupt(cause)
@@ -215,7 +239,7 @@ class Process(Event):
         # resume us twice.
         if self._target is not None and self._target.callbacks is not None:
             try:
-                self._target.callbacks.remove(self._resume)
+                self._target.callbacks.remove(self._resume_cb)
             except ValueError:  # pragma: no cover - defensive
                 pass
         self._target = None
@@ -224,23 +248,32 @@ class Process(Event):
     # -- internals -----------------------------------------------------
 
     def _resume(self, event: Event) -> None:
-        self.sim._active = self
+        sim = self.sim
+        sim._active = self
         self._target = None
         try:
             if event._ok:
-                result = self.gen.send(event._value)
+                result = self._send(event._value)
             else:
                 event._defused = True
-                result = self.gen.throw(event._value)
+                result = self._throw(event._value)
         except StopIteration as exc:
-            self.sim._active = None
+            sim._active = None
             self.succeed(exc.value, priority=URGENT)
             return
         except BaseException as exc:
-            self.sim._active = None
+            sim._active = None
             self.fail(exc, priority=URGENT)
             return
-        self.sim._active = None
+        sim._active = None
+        # Fast path for the dominant case: the generator yielded a fresh
+        # Timeout (always ok, never failed, callbacks list untouched).
+        if result.__class__ is Timeout and result.sim is sim:
+            callbacks = result.callbacks
+            if callbacks is not None:
+                callbacks.append(self._resume_cb)
+                self._target = result
+                return
         if not isinstance(result, Event):
             raise SimulationError(
                 f"process {self.name!r} yielded non-event {result!r}"
@@ -250,7 +283,7 @@ class Process(Event):
         if result.callbacks is None:
             # Already processed: resume immediately via a fresh wake event.
             wake = Event(self.sim)
-            wake.callbacks.append(self._resume)
+            wake.callbacks.append(self._resume_cb)
             wake._triggered = True
             wake._ok = result._ok
             wake._value = result._value
@@ -258,7 +291,7 @@ class Process(Event):
                 wake._defused = True
             self.sim._enqueue(wake, delay=0.0, priority=URGENT)
         else:
-            result.callbacks.append(self._resume)
+            result.callbacks.append(self._resume_cb)
             self._target = result
             if not result._ok:
                 result._defused = True
@@ -346,6 +379,10 @@ class Simulator:
         self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active: Optional[Process] = None
+        #: Free list of recycled Timeout objects (None = pooling disabled).
+        self._pool: Optional[list[Timeout]] = (
+            None if os.environ.get("REPRO_NO_EVENT_POOL") else []
+        )
 
     # -- clock & introspection ------------------------------------------
 
@@ -370,7 +407,27 @@ class Simulator:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create an event firing ``delay`` seconds from now."""
+        """Create an event firing ``delay`` seconds from now.
+
+        Recycles a pooled ``Timeout`` when one is available: the run loop
+        returns a processed timeout to the pool only when the refcount
+        proves nothing else still references it, so reuse is invisible to
+        simulation code.
+        """
+        pool = self._pool
+        if pool:
+            if delay < 0:
+                raise SimulationError(f"negative timeout delay {delay!r}")
+            ev = pool.pop()
+            # A pooled Timeout keeps its invariant flags (_triggered=True,
+            # _ok=True, _defused=False); only the per-use fields reset.
+            ev.callbacks = []
+            ev.delay = delay
+            ev._value = value
+            ev._processed = False
+            self._seq += 1
+            heappush(self._heap, (self._now + delay, NORMAL, self._seq, ev))
+            return ev
         return Timeout(self, delay, value)
 
     def process(self, gen: Generator, name: Optional[str] = None) -> Process:
@@ -387,11 +444,20 @@ class Simulator:
 
     def step(self) -> None:
         """Process the single next event."""
-        if not self._heap:
+        heap = self._heap
+        if not heap:
             raise SimulationError("step() on an empty schedule")
-        t, _prio, _seq, event = heapq.heappop(self._heap)
+        t, _prio, _seq, event = heappop(heap)
         self._now = t
         event._process()
+        pool = self._pool
+        if (
+            pool is not None
+            and event.__class__ is Timeout
+            and getrefcount(event) == 2
+            and len(pool) < _POOL_MAX
+        ):
+            pool.append(event)
 
     def run(self, until: Optional[float] = None) -> float:
         """Run until the schedule drains or the clock passes ``until``.
@@ -401,11 +467,31 @@ class Simulator:
         """
         if until is not None and until < self._now:
             raise SimulationError(f"until={until} is in the past (now={self._now})")
-        while self._heap:
-            if until is not None and self._heap[0][0] > until:
+        heap = self._heap
+        pool = self._pool
+        pop = heappop
+        while heap:
+            if until is not None and heap[0][0] > until:
                 self._now = until
-                return self._now
-            self.step()
+                return until
+            t, _prio, _seq, event = pop(heap)
+            self._now = t
+            if event.__class__ is Timeout:
+                # Inlined Timeout._process: a timeout never fails, so the
+                # failure bookkeeping is skipped on the hot path.
+                callbacks = event.callbacks
+                event.callbacks = None
+                event._processed = True
+                for cb in callbacks:
+                    cb(event)
+                if (
+                    pool is not None
+                    and getrefcount(event) == 2
+                    and len(pool) < _POOL_MAX
+                ):
+                    pool.append(event)
+            else:
+                event._process()
         if until is not None:
             self._now = max(self._now, until)
         return self._now
@@ -417,12 +503,30 @@ class Simulator:
         :class:`SimulationError` if the schedule drains or ``limit`` is
         reached first.
         """
+        heap = self._heap
+        pool = self._pool
+        pop = heappop
         while not event._processed:
-            if not self._heap:
+            if not heap:
                 raise SimulationError("schedule drained before event fired (deadlock?)")
-            if self._heap[0][0] > limit:
+            if heap[0][0] > limit:
                 raise SimulationError(f"time limit {limit} reached before event fired")
-            self.step()
+            t, _prio, _seq, ev = pop(heap)
+            self._now = t
+            if ev.__class__ is Timeout:
+                callbacks = ev.callbacks
+                ev.callbacks = None
+                ev._processed = True
+                for cb in callbacks:
+                    cb(ev)
+                if (
+                    pool is not None
+                    and getrefcount(ev) == 2
+                    and len(pool) < _POOL_MAX
+                ):
+                    pool.append(ev)
+            else:
+                ev._process()
         if not event._ok:
             raise event._value
         return event._value
@@ -431,4 +535,4 @@ class Simulator:
 
     def _enqueue(self, event: Event, delay: float, priority: int) -> None:
         self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+        heappush(self._heap, (self._now + delay, priority, self._seq, event))

@@ -22,7 +22,7 @@ event count, not the pattern, limits scale; DESIGN.md documents scaling):
 - :class:`SyntheticPattern` -- building block for tests/examples.
 """
 
-from repro.workloads.base import FileSpec, Workload
+from repro.workloads.base import FileSpec, Workload, normalize_op
 from repro.workloads.btio import Btio
 from repro.workloads.demo import Demo
 from repro.workloads.dependent import DependentReads
@@ -45,4 +45,5 @@ __all__ = [
     "S3asim",
     "SyntheticPattern",
     "Workload",
+    "normalize_op",
 ]

@@ -8,7 +8,23 @@ from typing import Iterator
 
 from repro.mpi.ops import Op
 
-__all__ = ["FileSpec", "Workload"]
+__all__ = ["FileSpec", "Workload", "normalize_op"]
+
+
+def normalize_op(op: str) -> str:
+    """Canonicalise an I/O direction to ``'R'`` or ``'W'``.
+
+    Workload constructors accept case-insensitive aliases (``"r"``,
+    ``"read"``, ``"w"``, ``"write"``); the rest of the stack only ever
+    sees the canonical single-letter form.
+    """
+    if isinstance(op, str):
+        low = op.strip().lower()
+        if low in ("r", "read"):
+            return "R"
+        if low in ("w", "write"):
+            return "W"
+    raise ValueError(f"op must be 'R'/'read' or 'W'/'write', got {op!r}")
 
 
 @dataclass(frozen=True)

@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Iterator
 
 from repro.mpi.ops import ComputeOp, IoOp, Op, Segment
-from repro.workloads.base import FileSpec, Workload
+from repro.workloads.base import FileSpec, Workload, normalize_op
 
 __all__ = ["Btio"]
 
@@ -48,7 +48,7 @@ class Btio(Workload):
         self.total_bytes = total_bytes
         self.n_steps = n_steps
         self.cell_scale = cell_scale
-        self.op = op
+        self.op = normalize_op(op)
         self.compute_per_step = compute_per_step
         self.collective = collective
         self.segments_per_call = segments_per_call

@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import Iterator
 
 from repro.mpi.ops import ComputeOp, IoOp, Op, Segment
-from repro.workloads.base import FileSpec, Workload
+from repro.workloads.base import FileSpec, Workload, normalize_op
 
 __all__ = ["Hpio"]
 
@@ -41,7 +41,7 @@ class Hpio(Workload):
         self.region_count = region_count
         self.region_bytes = region_bytes
         self.region_spacing = region_spacing
-        self.op = op
+        self.op = normalize_op(op)
         self.compute_per_call = compute_per_call
         self.collective = collective
 

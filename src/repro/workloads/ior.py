@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Iterator
 
 from repro.mpi.ops import ComputeOp, IoOp, Op, Segment
-from repro.workloads.base import FileSpec, Workload
+from repro.workloads.base import FileSpec, Workload, normalize_op
 
 __all__ = ["IorMpiIo"]
 
@@ -35,7 +35,7 @@ class IorMpiIo(Workload):
         self.file_name = file_name
         self.file_size = file_size
         self.request_bytes = request_bytes
-        self.op = op
+        self.op = normalize_op(op)
         self.compute_per_call = compute_per_call
         self.collective = collective
 

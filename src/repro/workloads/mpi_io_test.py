@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Iterator
 
 from repro.mpi.ops import BarrierOp, ComputeOp, IoOp, Op, Segment
-from repro.workloads.base import FileSpec, Workload
+from repro.workloads.base import FileSpec, Workload, normalize_op
 
 __all__ = ["MpiIoTest"]
 
@@ -33,12 +33,10 @@ class MpiIoTest(Workload):
     ):
         if file_size % request_bytes != 0:
             raise ValueError("file_size must be a multiple of request_bytes")
-        if op not in ("R", "W"):
-            raise ValueError("op must be 'R' or 'W'")
         self.file_name = file_name
         self.file_size = file_size
         self.request_bytes = request_bytes
-        self.op = op
+        self.op = normalize_op(op)
         self.barrier_every = barrier_every
         self.compute_per_call = compute_per_call
 

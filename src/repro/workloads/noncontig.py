@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Iterator
 
 from repro.mpi.ops import ComputeOp, IoOp, Op, Segment
-from repro.workloads.base import FileSpec, Workload
+from repro.workloads.base import FileSpec, Workload, normalize_op
 
 __all__ = ["Noncontig"]
 
@@ -44,7 +44,7 @@ class Noncontig(Workload):
         self.elmtcount = elmtcount
         self.n_rows = n_rows
         self.bytes_per_call = bytes_per_call
-        self.op = op
+        self.op = normalize_op(op)
         self.compute_per_call = compute_per_call
         self.collective = collective
 

@@ -7,7 +7,7 @@ from typing import Iterator, Optional
 import numpy as np
 
 from repro.mpi.ops import BarrierOp, ComputeOp, IoOp, Op, Segment
-from repro.workloads.base import FileSpec, Workload
+from repro.workloads.base import FileSpec, Workload, normalize_op
 
 __all__ = ["SyntheticPattern"]
 
@@ -50,7 +50,7 @@ class SyntheticPattern(Workload):
         self.file_size = file_size
         self.request_bytes = request_bytes
         self.pattern = pattern
-        self.op = op
+        self.op = normalize_op(op)
         self.compute_per_call = compute_per_call
         self.barrier_every = barrier_every
         self.collective = collective

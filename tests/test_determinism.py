@@ -1,0 +1,93 @@
+"""Determinism regression: identical results across repeats and with the
+Timeout pool disabled.
+
+The PR-1 kernel fast path recycles Timeout events through a free list;
+recycling must be invisible to simulation code, so the same seeded
+experiment must produce bit-identical measurements (JobResult fields and
+the raw blktrace ``(time, lbn, size)`` sequences) with the pool on, with
+the pool off (``REPRO_NO_EVENT_POOL=1``), and across repeated runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+from repro import JobSpec, MpiIoTest, Noncontig, run_experiment
+from repro.cluster import paper_spec
+from repro.sim.core import Simulator
+
+
+def _measurements(strategy: str):
+    res = run_experiment(
+        [
+            JobSpec(
+                "m",
+                8,
+                MpiIoTest(file_size=8 * 1024 * 1024, op="R"),
+                strategy=strategy,
+            )
+        ],
+        cluster_spec=paper_spec(n_compute_nodes=8, trace_disks=True),
+    )
+    jobs = [asdict(j) for j in res.jobs]
+    traces = [
+        [(r.time, r.lbn, r.nsectors) for r in t.records] if t is not None else None
+        for t in res.cluster.traces
+    ]
+    assert any(t for t in traces), "expected at least one non-empty blktrace"
+    return jobs, traces
+
+
+def test_repeat_runs_identical():
+    for strategy in ("vanilla", "dualpar-forced"):
+        assert _measurements(strategy) == _measurements(strategy)
+
+
+def test_pool_escape_hatch_disables_pool(monkeypatch):
+    assert Simulator()._pool is not None
+    monkeypatch.setenv("REPRO_NO_EVENT_POOL", "1")
+    assert Simulator()._pool is None
+
+
+def test_pooled_vs_unpooled_identical(monkeypatch):
+    pooled = _measurements("dualpar-forced")
+    monkeypatch.setenv("REPRO_NO_EVENT_POOL", "1")
+    unpooled = _measurements("dualpar-forced")
+    assert pooled == unpooled
+
+
+def test_pooled_vs_unpooled_identical_multi_job(monkeypatch):
+    def run():
+        res = run_experiment(
+            [
+                JobSpec("a", 8, MpiIoTest(file_name="a.dat", file_size=4 * 1024 * 1024)),
+                JobSpec(
+                    "b",
+                    8,
+                    Noncontig(file_name="b.dat", elmtcount=64, n_rows=512),
+                    strategy="dualpar-forced",
+                    delay_s=0.1,
+                ),
+            ],
+            cluster_spec=paper_spec(n_compute_nodes=8, trace_disks=True),
+        )
+        return [asdict(j) for j in res.jobs], [
+            [(r.time, r.lbn, r.nsectors) for r in t.records] if t is not None else None
+            for t in res.cluster.traces
+        ]
+
+    pooled = run()
+    monkeypatch.setenv("REPRO_NO_EVENT_POOL", "1")
+    assert run() == pooled
+
+
+def test_timeout_pool_actually_recycles():
+    sim = Simulator()
+
+    def loop(n):
+        for _ in range(n):
+            yield sim.timeout(0.001)
+
+    sim.process(loop(50))
+    sim.run()
+    assert sim._pool, "pool should hold recycled Timeout objects after a run"

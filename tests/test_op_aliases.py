@@ -1,0 +1,80 @@
+"""Workload constructors accept case-insensitive 'read'/'write' aliases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Btio,
+    Hpio,
+    IorMpiIo,
+    JobSpec,
+    MpiIoTest,
+    Noncontig,
+    SyntheticPattern,
+    run_experiment,
+)
+from repro.cluster import paper_spec
+from repro.workloads import normalize_op
+
+
+@pytest.mark.parametrize(
+    "alias,expected",
+    [
+        ("R", "R"),
+        ("r", "R"),
+        ("read", "R"),
+        ("READ", "R"),
+        (" Read ", "R"),
+        ("W", "W"),
+        ("w", "W"),
+        ("write", "W"),
+        ("WRITE", "W"),
+    ],
+)
+def test_normalize_op(alias, expected):
+    assert normalize_op(alias) == expected
+
+
+@pytest.mark.parametrize("bad", ["", "X", "rw", "readwrite", 3, None])
+def test_normalize_op_rejects_junk(bad):
+    with pytest.raises(ValueError):
+        normalize_op(bad)
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda op: MpiIoTest(file_size=1024 * 1024, op=op),
+        lambda op: IorMpiIo(file_size=1024 * 1024, op=op),
+        lambda op: Noncontig(elmtcount=16, n_rows=64, op=op),
+        lambda op: Hpio(region_count=8, op=op),
+        lambda op: Btio(total_bytes=1024 * 1024, n_steps=2, op=op),
+        lambda op: SyntheticPattern(file_size=1024 * 1024, op=op),
+    ],
+)
+@pytest.mark.parametrize("alias,expected", [("read", "R"), ("Write", "W")])
+def test_workloads_accept_aliases(factory, alias, expected):
+    assert factory(alias).op == expected
+
+
+def test_workloads_reject_bad_op():
+    with pytest.raises(ValueError):
+        MpiIoTest(op="sideways")
+
+
+def test_mpi_io_test_read_alias_runs():
+    # The originally-reported ergonomics bug: MpiIoTest(op="read") raised.
+    res = run_experiment(
+        [
+            JobSpec(
+                "m",
+                4,
+                MpiIoTest(file_size=1024 * 1024, op="read"),
+                strategy="vanilla",
+            )
+        ],
+        cluster_spec=paper_spec(n_compute_nodes=4),
+    )
+    assert res.jobs[0].bytes_read > 0
+    assert res.jobs[0].bytes_written == 0

@@ -1,0 +1,138 @@
+"""Coverage for the parallel experiment runner and its on-disk cache."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro import DualParConfig, ExperimentSpec, JobSpec, MpiIoTest, run_experiments
+from repro.cluster import paper_spec
+from repro.runner import parallel
+from repro.runner.parallel import (
+    clear_cache,
+    experiment_fingerprint,
+)
+
+
+def _spec(strategy="vanilla", quota_kb=None, stripe_unit=64 * 1024, nprocs=8):
+    return ExperimentSpec(
+        [
+            JobSpec(
+                "m",
+                nprocs,
+                MpiIoTest(file_size=4 * 1024 * 1024),
+                strategy=strategy,
+            )
+        ],
+        cluster_spec=paper_spec(n_compute_nodes=8, stripe_unit=stripe_unit),
+        dualpar_config=(
+            DualParConfig(quota_bytes=quota_kb * 1024) if quota_kb is not None else None
+        ),
+        label=f"{strategy}",
+    )
+
+
+def test_results_in_input_order_and_correct(tmp_path):
+    specs = [_spec("vanilla"), _spec("collective"), _spec("dualpar-forced")]
+    results = run_experiments(specs, jobs=1, cache_dir=tmp_path)
+    assert len(results) == 3
+    assert [r.jobs[0].strategy for r in results] == [
+        "vanilla",
+        "collective",
+        "dualpar-forced",
+    ]
+    assert all(r.jobs[0].throughput_mb_s > 0 for r in results)
+
+
+def test_pool_matches_inline(tmp_path):
+    specs = [_spec("vanilla"), _spec("collective"), _spec("dualpar-forced")]
+    inline = run_experiments(specs, jobs=1, cache=False)
+    pooled = run_experiments(specs, jobs=2, cache=False)
+    assert pickle.dumps(inline) == pickle.dumps(pooled)
+
+
+def test_cache_hit_returns_byte_identical_result(tmp_path):
+    specs = [_spec("dualpar-forced", quota_kb=256)]
+    first = run_experiments(specs, jobs=1, cache_dir=tmp_path)
+    assert parallel.LAST_RUN_STATS.misses == 1
+    second = run_experiments(specs, jobs=1, cache_dir=tmp_path)
+    assert parallel.LAST_RUN_STATS.hits == 1
+    assert parallel.LAST_RUN_STATS.misses == 0
+    assert pickle.dumps(first) == pickle.dumps(second)
+
+
+def test_fingerprint_sensitive_to_parameters():
+    base = _spec("dualpar-forced", quota_kb=256)
+    variants = [
+        _spec("dualpar-forced", quota_kb=512),  # different quota
+        _spec("dualpar-forced", quota_kb=256, stripe_unit=128 * 1024),  # stripe
+        _spec("vanilla", quota_kb=256),  # different strategy
+        _spec("dualpar-forced", quota_kb=256, nprocs=16),  # different ranks
+    ]
+    fps = {experiment_fingerprint(s) for s in [base] + variants}
+    assert len(fps) == len(variants) + 1
+
+
+def test_fingerprint_ignores_label():
+    a = _spec("vanilla")
+    b = ExperimentSpec(a.specs, cluster_spec=a.cluster_spec, label="other name")
+    assert experiment_fingerprint(a) == experiment_fingerprint(b)
+
+
+def test_changed_parameters_miss_the_cache(tmp_path):
+    run_experiments([_spec("dualpar-forced", quota_kb=256)], jobs=1, cache_dir=tmp_path)
+    run_experiments([_spec("dualpar-forced", quota_kb=512)], jobs=1, cache_dir=tmp_path)
+    assert parallel.LAST_RUN_STATS.misses == 1
+    assert parallel.LAST_RUN_STATS.hits == 0
+
+
+def test_corrupt_cache_file_is_ignored(tmp_path):
+    spec = _spec("vanilla")
+    good = run_experiments([spec], jobs=1, cache_dir=tmp_path)
+    path = tmp_path / f"{experiment_fingerprint(spec)}.pkl"
+    assert path.exists()
+
+    # Truncated garbage must be treated as a miss, not an error.
+    path.write_bytes(b"\x80corrupt")
+    again = run_experiments([spec], jobs=1, cache_dir=tmp_path)
+    assert parallel.LAST_RUN_STATS.misses == 1
+    assert pickle.dumps(good) == pickle.dumps(again)
+
+    # A valid pickle of the wrong type is also a miss.
+    path.write_bytes(pickle.dumps({"not": "a result"}))
+    run_experiments([spec], jobs=1, cache_dir=tmp_path)
+    assert parallel.LAST_RUN_STATS.misses == 1
+
+
+def test_cache_can_be_disabled(tmp_path, monkeypatch):
+    spec = _spec("vanilla")
+    run_experiments([spec], jobs=1, cache=False, cache_dir=tmp_path)
+    assert not list(tmp_path.glob("*.pkl"))
+    monkeypatch.setenv("REPRO_NO_BENCH_CACHE", "1")
+    run_experiments([spec], jobs=1, cache_dir=tmp_path)
+    assert not list(tmp_path.glob("*.pkl"))
+
+
+def test_clear_cache(tmp_path):
+    run_experiments([_spec("vanilla"), _spec("collective")], jobs=1, cache_dir=tmp_path)
+    assert len(list(tmp_path.glob("*.pkl"))) == 2
+    assert clear_cache(tmp_path) == 2
+    assert not list(tmp_path.glob("*.pkl"))
+
+
+def test_slim_result_measurement_surface(tmp_path):
+    (res,) = run_experiments(
+        [_spec("dualpar-forced", quota_kb=256)], jobs=1, cache_dir=tmp_path
+    )
+    assert res.system_throughput_mb_s > 0
+    assert res.total_io_time_s > 0
+    assert res.total_bytes_served > 0
+    assert res.job("m").name == "m"
+    with pytest.raises(KeyError):
+        res.job("nope")
+
+
+def test_spec_accepts_list_of_jobspecs():
+    spec = _spec("vanilla")
+    assert isinstance(spec.specs, tuple)
