@@ -1,7 +1,7 @@
 PYTHON ?= python
 NPROC ?= $(shell nproc 2>/dev/null || echo 1)
 
-.PHONY: install test test-fast bench bench-fast bench-kernel examples results clean
+.PHONY: install test test-fast lint sanitize bench bench-fast bench-kernel examples results clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -16,6 +16,21 @@ test-fast:
 		&& $(PYTHON) -m pytest tests/ -n $(NPROC) -q \
 		|| { echo "pytest-xdist not installed; running serially"; \
 		     $(PYTHON) -m pytest tests/ -q; }
+
+# Determinism lint (simlint, stdlib-only, always runs) plus ruff and mypy
+# when the dev extra is installed; absent tools are skipped, not failures.
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro lint src
+	@$(PYTHON) -c "import ruff" 2>/dev/null \
+		&& $(PYTHON) -m ruff check src tests benchmarks \
+		|| echo "ruff not installed; skipping"
+	@$(PYTHON) -c "import mypy" 2>/dev/null \
+		&& $(PYTHON) -m mypy \
+		|| echo "mypy not installed; skipping"
+
+# Tier-1 determinism suite with the runtime sim-sanitizer armed.
+sanitize:
+	REPRO_SANITIZE=1 PYTHONPATH=src $(PYTHON) -m pytest tests/test_determinism.py tests/test_sanitizer.py -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

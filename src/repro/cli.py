@@ -5,17 +5,22 @@ Examples::
     python -m repro run --workload mpi-io-test --strategy dualpar-forced \
         --nprocs 64 --size-mb 64
     python -m repro compare --workload noncontig --nprocs 64
+    python -m repro lint src
     python -m repro list-workloads
     python -m repro list-strategies
 
 ``run`` executes one job and prints its measurements plus DualPar
 internals when applicable; ``compare`` runs the same workload under every
-strategy and prints a comparison table.
+strategy and prints a comparison table; ``lint`` runs the simlint
+determinism rules (see docs/static_analysis.md).  ``run``/``report``/
+``compare`` accept ``--sanitize`` to enable the runtime SimSanitizer for
+every simulator the command creates (including parallel workers).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Optional
 
@@ -142,7 +147,20 @@ def _job_rows(result) -> list[list]:
     ]
 
 
+def _apply_sanitize(args) -> None:
+    """Honour ``--sanitize`` by setting ``REPRO_SANITIZE`` for this process.
+
+    Simulators are created deep inside the runner (and, for ``compare
+    -j``, inside forked worker processes, which inherit the environment),
+    so the environment variable is the one switch that reaches them all.
+    """
+
+    if getattr(args, "sanitize", False):
+        os.environ["REPRO_SANITIZE"] = "1"
+
+
 def cmd_run(args) -> int:
+    _apply_sanitize(args)
     workload = build_workload(args.workload, args.size_mb, args.op, args.nprocs)
     result = run_experiment(
         [JobSpec(args.workload, args.nprocs, workload, strategy=args.strategy)],
@@ -176,6 +194,7 @@ def cmd_run(args) -> int:
 
 
 def cmd_compare(args) -> int:
+    _apply_sanitize(args)
     specs = [
         ExperimentSpec(
             [
@@ -211,6 +230,7 @@ def cmd_compare(args) -> int:
 def cmd_report(args) -> int:
     from repro.analysis import summarize
 
+    _apply_sanitize(args)
     workload = build_workload(args.workload, args.size_mb, args.op, args.nprocs)
     result = run_experiment(
         [JobSpec(args.workload, args.nprocs, workload, strategy=args.strategy)],
@@ -219,6 +239,19 @@ def cmd_report(args) -> int:
     )
     print(summarize(result))
     return 0
+
+
+def cmd_lint(args) -> int:
+    from repro.devtools import simlint
+
+    lint_argv = list(args.paths) or ["src"]
+    if args.format != "text":
+        lint_argv += ["--format", args.format]
+    if args.select:
+        lint_argv += ["--select", args.select]
+    if args.list_rules:
+        lint_argv += ["--list-rules"]
+    return simlint.main(lint_argv)
 
 
 def cmd_list_workloads(_args) -> int:
@@ -271,6 +304,11 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--quota-kb", type=int, default=None, help="DualPar per-process cache quota"
     )
+    p.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="enable the runtime SimSanitizer (sets REPRO_SANITIZE=1)",
+    )
 
 
 def make_parser() -> argparse.ArgumentParser:
@@ -311,6 +349,21 @@ def make_parser() -> argparse.ArgumentParser:
         help="recompute every cell instead of reading .bench_cache/",
     )
     p_cmp.set_defaults(func=cmd_compare)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the simlint determinism rules (SL001-SL005)"
+    )
+    p_lint.add_argument(
+        "paths", nargs="*", default=["src"], help="files/directories (default: src)"
+    )
+    p_lint.add_argument("--format", choices=["text", "json"], default="text")
+    p_lint.add_argument(
+        "--select", default=None, help="comma-separated rule ids to enable"
+    )
+    p_lint.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    p_lint.set_defaults(func=cmd_lint)
 
     p_lw = sub.add_parser("list-workloads", help="show available workloads")
     p_lw.set_defaults(func=cmd_list_workloads)

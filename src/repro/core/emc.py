@@ -51,7 +51,7 @@ class EmcDaemon:
         self.config = config
         self.sim = system.runtime.sim
         self.samples: list[EmcSample] = []
-        self._proc = self.sim.process(self._run(), name="emc")
+        self._proc = self.sim.process(self._run(), name="emc", daemon=True)
 
     # ------------------------------------------------------------------
 

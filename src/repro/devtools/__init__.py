@@ -1,0 +1,31 @@
+"""Developer tooling: static analysis and runtime sanitizers.
+
+This package holds correctness tooling that is part of the build rather
+than an afterthought:
+
+- :mod:`repro.devtools.simlint` -- an AST-based lint pass (stdlib ``ast``
+  only) with rules targeted at discrete-event-simulation hazards:
+  nondeterministic iteration order, wall-clock reads, global RNG state,
+  mutable default arguments, and non-event ``yield``s inside simulation
+  processes.  Run it with ``repro lint`` or ``python -m
+  repro.devtools.simlint``.
+- :mod:`repro.devtools.sanitizer` -- :class:`SimSanitizer`, an opt-in
+  runtime checker (``REPRO_SANITIZE=1`` or ``Simulator(sanitize=True)``)
+  that asserts event-time monotonicity, detects double-dispatched events,
+  tracks process lifecycle, and attributes leaked or double-released
+  resources to their owning process.
+
+See ``docs/static_analysis.md`` for the rule catalogue and usage.
+"""
+
+from repro.devtools.sanitizer import SanitizerError, SimSanitizer
+from repro.devtools.simlint import Finding, RULES, lint_paths, lint_source
+
+__all__ = [
+    "Finding",
+    "RULES",
+    "SanitizerError",
+    "SimSanitizer",
+    "lint_paths",
+    "lint_source",
+]

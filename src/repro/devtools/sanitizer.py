@@ -1,0 +1,265 @@
+"""SimSanitizer: opt-in runtime invariant checker for the event kernel.
+
+Static lint (``simlint``) catches hazard *patterns*; the sanitizer
+catches hazard *instances* while a simulation runs.  Enable it with
+``REPRO_SANITIZE=1`` in the environment, ``Simulator(sanitize=True)``,
+or the ``--sanitize`` CLI flag.  Checks:
+
+- **event-time monotonicity** -- the dispatch clock never moves
+  backwards and no event carries a negative timestamp;
+- **schedule-key ordering** -- every dispatched ``(time, priority,
+  sequence)`` key is strictly greater than the previous one.  A recycled
+  event re-queued with a stale sequence number (the exact class of bug a
+  free-list pool can introduce) breaks this immediately, because tie
+  order would then depend on pool state rather than trigger order;
+- **double dispatch** -- an event popped from the schedule twice
+  (aliased heap entries) is reported at the second pop;
+- **process lifecycle** -- non-daemon processes still alive when the
+  schedule drains are leaks (deadlocked or forgotten); reported with
+  their names;
+- **resource ownership** -- every granted :class:`~repro.sim.resources.
+  Resource` slot is tracked with its owning process; a double release or
+  a slot still held at drain time is reported *with attribution* (who
+  acquired it, when, and who released it first).
+
+All violations raise :class:`SanitizerError` (a
+:class:`~repro.sim.core.SimulationError`), so an unsanitized run and a
+sanitized run of a correct simulation produce identical results -- the
+sanitizer only observes, it never perturbs scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.sim.core import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Event, Process, Simulator
+
+__all__ = ["SanitizerError", "SimSanitizer"]
+
+#: Cap on the number of leaks enumerated in one error message.
+_REPORT_LIMIT = 8
+
+
+class SanitizerError(SimulationError):
+    """A simulation invariant was violated (only raised when sanitizing)."""
+
+
+@dataclass
+class _RequestRecord:
+    """Lifecycle of one resource request, for attribution."""
+
+    resource: str
+    owner: Optional[str]
+    owner_daemon: bool
+    requested_at: float
+    state: str = "pending"  # pending -> granted -> released | cancelled
+    granted_at: Optional[float] = None
+    released_at: Optional[float] = None
+    released_by: Optional[str] = None
+
+    def describe(self) -> str:
+        who = self.owner if self.owner is not None else "<no active process>"
+        when = (
+            f"granted at t={self.granted_at:.6g}"
+            if self.granted_at is not None
+            else f"requested at t={self.requested_at:.6g}"
+        )
+        return f"{self.resource} held by {who!r} ({when})"
+
+
+@dataclass
+class SanitizerStats:
+    """Counters exposed for introspection and tests."""
+
+    n_events: int = 0
+    n_ties: int = 0
+    n_requests: int = 0
+    n_releases: int = 0
+    leaked_processes: list[str] = field(default_factory=list)
+    leaked_requests: list[str] = field(default_factory=list)
+
+
+class SimSanitizer:
+    """Runtime checker attached to one :class:`Simulator`.
+
+    The simulator calls :meth:`on_dispatch` for every event it pops and
+    :meth:`on_quiescent` when the schedule drains; the resource classes
+    call the acquire/release hooks.  The sanitizer holds no references to
+    events (so the Timeout free list keeps recycling) and never mutates
+    simulation state.
+    """
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.stats = SanitizerStats()
+        self._last_key: tuple[float, int, int] = (float("-inf"), -(2**62), -(2**62))
+        #: insertion-ordered map of live non-daemon processes (removed on exit)
+        self._live: dict["Process", None] = {}
+        #: request object -> lifecycle record (insertion-ordered)
+        self._requests: dict[Any, _RequestRecord] = {}
+
+    # -- dispatch-loop hooks -------------------------------------------
+
+    def on_dispatch(self, t: float, priority: int, seq: int, event: "Event") -> None:
+        """Validate one popped schedule entry, *before* it is processed."""
+
+        stats = self.stats
+        stats.n_events += 1
+        if t < 0:
+            raise SanitizerError(
+                f"negative event timestamp t={t!r} for {event!r}"
+            )
+        last_t, last_p, last_s = self._last_key
+        if t < last_t:
+            raise SanitizerError(
+                f"time went backwards: dispatching t={t!r} after t={last_t!r} "
+                f"({event!r})"
+            )
+        # Within one (time, priority) band, dispatch must follow trigger
+        # order: every push takes a fresh, larger sequence number, so a
+        # smaller-or-equal seq here means a stale entry (e.g. a recycled
+        # event re-queued with its old key), whose tie order would depend
+        # on pool state rather than trigger order.  A *lower* priority at
+        # the same time is legitimate: urgent events created while
+        # processing this timestep dispatch before the band continues.
+        if t == last_t:
+            stats.n_ties += 1
+            if priority == last_p and seq <= last_s:
+                raise SanitizerError(
+                    "schedule tie order violated: "
+                    f"(t={t!r}, prio={priority}, seq={seq}) dispatched after "
+                    f"seq={last_s} in the same band for {event!r}; stale "
+                    "sequence numbers make tie dispatch order pool-dependent "
+                    "instead of trigger-ordered"
+                )
+        if event._processed:
+            raise SanitizerError(
+                f"double dispatch: {event!r} was already processed "
+                "(aliased schedule entries, e.g. a recycled event re-queued "
+                "while still scheduled)"
+            )
+        self._last_key = (t, priority, seq)
+
+    def on_quiescent(self, now: float) -> None:
+        """Schedule drained: report still-alive processes and held slots."""
+
+        leaked_procs = [p for p in self._live if p.is_alive and not p.daemon]
+        leaked_reqs = [
+            rec
+            for rec in self._requests.values()
+            if rec.state == "granted" and not rec.owner_daemon
+        ]
+        self.stats.leaked_processes = [p.name for p in leaked_procs]
+        self.stats.leaked_requests = [r.describe() for r in leaked_reqs]
+        problems: list[str] = []
+        if leaked_procs:
+            names = ", ".join(repr(p.name) for p in leaked_procs[:_REPORT_LIMIT])
+            extra = len(leaked_procs) - _REPORT_LIMIT
+            if extra > 0:
+                names += f", ... {extra} more"
+            problems.append(
+                f"{len(leaked_procs)} process(es) still alive at t={now:.6g}: "
+                f"{names} (deadlocked or leaked; mark intentional service "
+                "loops with daemon=True)"
+            )
+        if leaked_reqs:
+            held = "; ".join(r.describe() for r in leaked_reqs[:_REPORT_LIMIT])
+            extra = len(leaked_reqs) - _REPORT_LIMIT
+            if extra > 0:
+                held += f"; ... {extra} more"
+            problems.append(
+                f"{len(leaked_reqs)} resource slot(s) never released: {held}"
+            )
+        if problems:
+            raise SanitizerError("; ".join(problems))
+
+    # -- process lifecycle ---------------------------------------------
+
+    def on_process_created(self, proc: "Process") -> None:
+        if proc.daemon:
+            return
+        self._live[proc] = None
+        # A Process *is* its completion event; drop it from the live map
+        # when that event is processed.  Appending a callback does not
+        # change scheduling, only observation.
+        callbacks = proc.callbacks
+        if callbacks is not None:
+            callbacks.append(self._process_done)
+
+    def _process_done(self, event: "Event") -> None:
+        self._live.pop(event, None)  # type: ignore[call-overload]
+
+    # -- resource ownership --------------------------------------------
+
+    def on_request(self, resource: Any, request: Any) -> None:
+        """A request was created (may be queued before being granted)."""
+
+        owner = self.sim.active_process
+        self.stats.n_requests += 1
+        self._requests[request] = _RequestRecord(
+            resource=self._describe_resource(resource),
+            owner=None if owner is None else owner.name,
+            owner_daemon=bool(owner is not None and owner.daemon),
+            requested_at=self.sim.now,
+        )
+
+    def on_acquire(self, resource: Any, request: Any) -> None:
+        """A request was granted a slot (immediately or from the queue)."""
+
+        rec = self._requests.get(request)
+        if rec is None:  # request predates the sanitizer; ignore
+            return
+        rec.state = "granted"
+        rec.granted_at = self.sim.now
+
+    def on_release(self, resource: Any, request: Any) -> None:
+        """A request is being released; raises on double release."""
+
+        rec = self._requests.get(request)
+        if rec is None:
+            return
+        releaser = self.sim.active_process
+        releaser_name = None if releaser is None else releaser.name
+        if rec.state in ("released", "cancelled"):
+            first = (
+                f"first released at t={rec.released_at:.6g} by "
+                f"{rec.released_by!r}"
+                if rec.released_at is not None
+                else "cancelled while queued"
+            )
+            raise SanitizerError(
+                f"double release of {rec.resource} slot acquired by "
+                f"{rec.owner!r} (granted at t="
+                f"{rec.granted_at if rec.granted_at is not None else rec.requested_at:.6g}); "
+                f"{first}; released again at t={self.sim.now:.6g} by "
+                f"{releaser_name!r}"
+            )
+        rec.state = "released" if rec.state == "granted" else "cancelled"
+        rec.released_at = self.sim.now
+        rec.released_by = releaser_name
+        self.stats.n_releases += 1
+
+    @staticmethod
+    def _describe_resource(resource: Any) -> str:
+        cap = getattr(resource, "capacity", None)
+        name = type(resource).__name__
+        return f"{name}(capacity={cap})" if cap is not None else name
+
+    # -- introspection --------------------------------------------------
+
+    def summary(self) -> dict[str, Any]:
+        """Snapshot of counters plus currently-open state."""
+
+        open_reqs = sum(1 for r in self._requests.values() if r.state == "granted")
+        return {
+            "n_events": self.stats.n_events,
+            "n_ties": self.stats.n_ties,
+            "n_requests": self.stats.n_requests,
+            "n_releases": self.stats.n_releases,
+            "live_processes": sum(1 for p in self._live if p.is_alive),
+            "open_requests": open_reqs,
+        }

@@ -77,7 +77,9 @@ class BlockLayer:
         self._head_lbn = 0
         self._arrival: Optional[Event] = None
         self._congestion_waiters: list[Event] = []
-        self._dispatcher = sim.process(self._dispatch_loop(), name=f"{name}-dispatch")
+        self._dispatcher = sim.process(
+            self._dispatch_loop(), name=f"{name}-dispatch", daemon=True
+        )
 
     # ------------------------------------------------------------------
 

@@ -324,7 +324,7 @@ class LocalityDaemon:
         self.name = name
         #: (slot_end_time, mean seek sectors, n requests in slot)
         self.samples: list[tuple[float, float, int]] = []
-        self._proc = sim.process(self._run(), name=name)
+        self._proc = sim.process(self._run(), name=name, daemon=True)
 
     def _run(self):
         sim = self.sim

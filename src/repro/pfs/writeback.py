@@ -49,7 +49,9 @@ class WritebackBuffer:
         self.n_flushes = 0
         self.flushed_bytes = 0
         self._flush_gate = None
-        self._proc = sim.process(self._flusher(), name=f"wb-{server.server_index}")
+        self._proc = sim.process(
+            self._flusher(), name=f"wb-{server.server_index}", daemon=True
+        )
 
     # ------------------------------------------------------------------
 

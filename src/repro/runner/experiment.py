@@ -150,7 +150,7 @@ def run_experiment(
                 timeline.record(runtime.sim.now, total - last)
                 last = total
 
-        runtime.sim.process(sampler(), name="timeline")
+        runtime.sim.process(sampler(), name="timeline", daemon=True)
 
     for job in jobs:
         runtime.sim.run_until_event(job.done, limit=limit_s)

@@ -18,6 +18,13 @@ check so an event that any other code still holds is never reused.  Set
 ``REPRO_NO_EVENT_POOL=1`` to disable the pool (simulators created while
 the variable is set allocate a fresh ``Timeout`` per call; scheduling
 order, and therefore every simulated result, is identical either way).
+
+Sanitizing: ``Simulator(sanitize=True)`` (or ``REPRO_SANITIZE=1``)
+attaches a :class:`repro.devtools.sanitizer.SimSanitizer` that validates
+dispatch-time invariants (clock monotonicity, strict schedule-key
+ordering, no double dispatch) and tracks process/resource lifecycle.
+Service loops that intentionally never finish must be spawned with
+``daemon=True`` so the sanitizer's leak check skips them.
 """
 
 from __future__ import annotations
@@ -26,7 +33,10 @@ import os
 from collections.abc import Generator
 from heapq import heappop, heappush
 from sys import getrefcount
-from typing import Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.devtools.sanitizer import SimSanitizer
 
 __all__ = [
     "Event",
@@ -59,7 +69,7 @@ class Interrupt(Exception):
     the victim was interrupted (e.g. a pre-execution deadline expiring).
     """
 
-    def __init__(self, cause: Any = None):
+    def __init__(self, cause: Any = None) -> None:
         super().__init__(cause)
         self.cause = cause
 
@@ -78,7 +88,7 @@ class Event:
 
     __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed", "_defused")
 
-    def __init__(self, sim: "Simulator"):
+    def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
         self.callbacks: Optional[list[Callable[["Event"], None]]] = []
         self._value: Any = None
@@ -142,6 +152,7 @@ class Event:
     def _process(self) -> None:
         """Run callbacks; called by the simulator when dequeued."""
         callbacks = self.callbacks
+        assert callbacks is not None, "event processed twice"
         self.callbacks = None
         self._processed = True
         for cb in callbacks:
@@ -162,7 +173,7 @@ class Timeout(Event):
 
     __slots__ = ("delay",)
 
-    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay!r}")
         super().__init__(sim)
@@ -179,8 +190,9 @@ class _Initialize(Event):
 
     __slots__ = ()
 
-    def __init__(self, sim: "Simulator", process: "Process"):
+    def __init__(self, sim: "Simulator", process: "Process") -> None:
         super().__init__(sim)
+        assert self.callbacks is not None
         self.callbacks.append(process._resume_cb)
         self._triggered = True
         self._ok = True
@@ -194,16 +206,28 @@ class Process(Event):
     The wrapped generator yields :class:`Event` objects.  When a yielded
     event is processed, the process resumes with ``event.value`` sent in
     (or the exception thrown in, if the event failed).
+
+    ``daemon=True`` marks a process as an intentional forever-running
+    service loop (elevator dispatchers, samplers, flushers): the
+    sanitizer's leak check ignores daemons still alive when the schedule
+    drains.  The flag has no effect on scheduling.
     """
 
-    __slots__ = ("gen", "name", "_target", "_resume_cb", "_send", "_throw")
+    __slots__ = ("gen", "name", "daemon", "_target", "_resume_cb", "_send", "_throw")
 
-    def __init__(self, sim: "Simulator", gen: Generator, name: Optional[str] = None):
+    def __init__(
+        self,
+        sim: "Simulator",
+        gen: Generator,
+        name: Optional[str] = None,
+        daemon: bool = False,
+    ) -> None:
         if not hasattr(gen, "send") or not hasattr(gen, "throw"):
             raise SimulationError(f"process body must be a generator, got {gen!r}")
         super().__init__(sim)
         self.gen = gen
         self.name = name or getattr(gen, "__name__", "process")
+        self.daemon = daemon
         #: The event this process is currently waiting on (None if running
         #: or finished).  Used by interrupt() to detach.
         self._target: Optional[Event] = None
@@ -212,6 +236,8 @@ class Process(Event):
         self._resume_cb = self._resume
         self._send = gen.send
         self._throw = gen.throw
+        if sim._sanitizer is not None:
+            sim._sanitizer.on_process_created(self)
         _Initialize(sim, self)
 
     @property
@@ -231,6 +257,7 @@ class Process(Event):
             raise SimulationError("a process cannot interrupt itself")
         interrupt_ev = Event(self.sim)
         interrupt_ev._defused = True
+        assert interrupt_ev.callbacks is not None
         interrupt_ev.callbacks.append(self._resume_cb)
         interrupt_ev._triggered = True
         interrupt_ev._ok = False
@@ -283,6 +310,7 @@ class Process(Event):
         if result.callbacks is None:
             # Already processed: resume immediately via a fresh wake event.
             wake = Event(self.sim)
+            assert wake.callbacks is not None
             wake.callbacks.append(self._resume_cb)
             wake._triggered = True
             wake._ok = result._ok
@@ -305,7 +333,7 @@ class _Condition(Event):
 
     __slots__ = ("events", "_n_done")
 
-    def __init__(self, sim: "Simulator", events: list[Event]):
+    def __init__(self, sim: "Simulator", events: list[Event]) -> None:
         super().__init__(sim)
         self.events = list(events)
         self._n_done = 0
@@ -372,9 +400,14 @@ def any_of(sim: "Simulator", events: list[Event]) -> Event:
 
 
 class Simulator:
-    """The discrete-event loop: a clock plus a heap of triggered events."""
+    """The discrete-event loop: a clock plus a heap of triggered events.
 
-    def __init__(self):
+    ``sanitize=True`` attaches a :class:`SimSanitizer` performing runtime
+    invariant checks (see :mod:`repro.devtools.sanitizer`); the default
+    ``None`` defers to the ``REPRO_SANITIZE`` environment variable.
+    """
+
+    def __init__(self, sanitize: Optional[bool] = None) -> None:
         self._now: float = 0.0
         self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = 0
@@ -383,6 +416,16 @@ class Simulator:
         self._pool: Optional[list[Timeout]] = (
             None if os.environ.get("REPRO_NO_EVENT_POOL") else []
         )
+        if sanitize is None:
+            sanitize = bool(os.environ.get("REPRO_SANITIZE"))
+        self._sanitizer: Optional["SimSanitizer"]
+        if sanitize:
+            # Imported lazily: devtools depends on this module.
+            from repro.devtools.sanitizer import SimSanitizer
+
+            self._sanitizer = SimSanitizer(self)
+        else:
+            self._sanitizer = None
 
     # -- clock & introspection ------------------------------------------
 
@@ -395,6 +438,11 @@ class Simulator:
     def active_process(self) -> Optional[Process]:
         """The process currently executing, if any."""
         return self._active
+
+    @property
+    def sanitizer(self) -> Optional["SimSanitizer"]:
+        """The attached runtime sanitizer, or None when not sanitizing."""
+        return self._sanitizer
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -430,9 +478,15 @@ class Simulator:
             return ev
         return Timeout(self, delay, value)
 
-    def process(self, gen: Generator, name: Optional[str] = None) -> Process:
-        """Launch a generator as a simulation process."""
-        return Process(self, gen, name=name)
+    def process(
+        self, gen: Generator, name: Optional[str] = None, daemon: bool = False
+    ) -> Process:
+        """Launch a generator as a simulation process.
+
+        Pass ``daemon=True`` for intentional forever-running service
+        loops so the sanitizer's leak check skips them.
+        """
+        return Process(self, gen, name=name, daemon=daemon)
 
     def all_of(self, events: list[Event]) -> Event:
         return all_of(self, events)
@@ -448,6 +502,8 @@ class Simulator:
         if not heap:
             raise SimulationError("step() on an empty schedule")
         t, _prio, _seq, event = heappop(heap)
+        if self._sanitizer is not None:
+            self._sanitizer.on_dispatch(t, _prio, _seq, event)
         self._now = t
         event._process()
         pool = self._pool
@@ -469,12 +525,15 @@ class Simulator:
             raise SimulationError(f"until={until} is in the past (now={self._now})")
         heap = self._heap
         pool = self._pool
+        san = self._sanitizer
         pop = heappop
         while heap:
             if until is not None and heap[0][0] > until:
                 self._now = until
                 return until
             t, _prio, _seq, event = pop(heap)
+            if san is not None:
+                san.on_dispatch(t, _prio, _seq, event)
             self._now = t
             if event.__class__ is Timeout:
                 # Inlined Timeout._process: a timeout never fails, so the
@@ -494,6 +553,10 @@ class Simulator:
                 event._process()
         if until is not None:
             self._now = max(self._now, until)
+        if san is not None:
+            # The schedule fully drained: anything still alive or held is
+            # a leak (daemons excepted).
+            san.on_quiescent(self._now)
         return self._now
 
     def run_until_event(self, event: Event, limit: float = float("inf")) -> Any:
@@ -505,6 +568,7 @@ class Simulator:
         """
         heap = self._heap
         pool = self._pool
+        san = self._sanitizer
         pop = heappop
         while not event._processed:
             if not heap:
@@ -512,6 +576,8 @@ class Simulator:
             if heap[0][0] > limit:
                 raise SimulationError(f"time limit {limit} reached before event fired")
             t, _prio, _seq, ev = pop(heap)
+            if san is not None:
+                san.on_dispatch(t, _prio, _seq, ev)
             self._now = t
             if ev.__class__ is Timeout:
                 callbacks = ev.callbacks

@@ -9,6 +9,11 @@ These follow SimPy semantics closely enough to be familiar:
 - :class:`Store` -- unbounded-or-bounded FIFO buffer of items with ``put``
   and ``get`` events.
 - :class:`FilterStore` -- Store whose ``get`` takes a predicate.
+
+When the owning simulator sanitizes (``REPRO_SANITIZE=1`` /
+``Simulator(sanitize=True)``), every request/grant/release is reported
+to the :class:`~repro.devtools.sanitizer.SimSanitizer`, which attributes
+leaked and double-released slots to the process that acquired them.
 """
 
 from __future__ import annotations
@@ -27,7 +32,7 @@ class _Request(Event):
 
     __slots__ = ("resource",)
 
-    def __init__(self, resource: "Resource"):
+    def __init__(self, resource: "Resource") -> None:
         super().__init__(resource.sim)
         self.resource = resource
 
@@ -42,7 +47,7 @@ class _Request(Event):
 class Resource:
     """``capacity`` identical servers with a FIFO wait queue."""
 
-    def __init__(self, sim: Simulator, capacity: int = 1):
+    def __init__(self, sim: Simulator, capacity: int = 1) -> None:
         if capacity < 1:
             raise SimulationError("Resource capacity must be >= 1")
         self.sim = sim
@@ -57,14 +62,23 @@ class Resource:
 
     def request(self) -> _Request:
         req = _Request(self)
+        san = self.sim._sanitizer
+        if san is not None:
+            san.on_request(self, req)
         if len(self.users) < self.capacity:
             self.users.append(req)
+            if san is not None:
+                san.on_acquire(self, req)
             req.succeed(req)
         else:
             self.queue.append(req)
         return req
 
     def release(self, request: _Request) -> None:
+        san = self.sim._sanitizer
+        if san is not None:
+            # Raises with owning-process attribution on a double release.
+            san.on_release(self, request)
         try:
             self.users.remove(request)
         except ValueError:
@@ -77,13 +91,15 @@ class Resource:
         while self.queue and len(self.users) < self.capacity:
             nxt = self.queue.popleft()
             self.users.append(nxt)
+            if san is not None:
+                san.on_acquire(self, nxt)
             nxt.succeed(nxt)
 
 
 class _PriorityRequest(_Request):
     __slots__ = ("priority", "seq")
 
-    def __init__(self, resource: "PriorityResource", priority: float, seq: int):
+    def __init__(self, resource: "PriorityResource", priority: float, seq: int) -> None:
         super().__init__(resource)
         self.priority = priority
         self.seq = seq
@@ -95,7 +111,7 @@ class _PriorityRequest(_Request):
 class PriorityResource(Resource):
     """Resource whose waiters are served lowest-priority-value first."""
 
-    def __init__(self, sim: Simulator, capacity: int = 1):
+    def __init__(self, sim: Simulator, capacity: int = 1) -> None:
         super().__init__(sim, capacity)
         self._pq: list[_PriorityRequest] = []
         self._seq = 0
@@ -103,14 +119,22 @@ class PriorityResource(Resource):
     def request(self, priority: float = 0.0) -> _PriorityRequest:  # type: ignore[override]
         self._seq += 1
         req = _PriorityRequest(self, priority, self._seq)
+        san = self.sim._sanitizer
+        if san is not None:
+            san.on_request(self, req)
         if len(self.users) < self.capacity:
             self.users.append(req)
+            if san is not None:
+                san.on_acquire(self, req)
             req.succeed(req)
         else:
             heapq.heappush(self._pq, req)
         return req
 
     def release(self, request: _Request) -> None:  # type: ignore[override]
+        san = self.sim._sanitizer
+        if san is not None:
+            san.on_release(self, request)
         try:
             self.users.remove(request)
         except ValueError:
@@ -123,6 +147,8 @@ class PriorityResource(Resource):
         while self._pq and len(self.users) < self.capacity:
             nxt = heapq.heappop(self._pq)
             self.users.append(nxt)
+            if san is not None:
+                san.on_acquire(self, nxt)
             nxt.succeed(nxt)
 
 
@@ -133,7 +159,7 @@ class Store:
     ``get()`` returns an event that fires with the oldest item.
     """
 
-    def __init__(self, sim: Simulator, capacity: float = float("inf")):
+    def __init__(self, sim: Simulator, capacity: float = float("inf")) -> None:
         if capacity <= 0:
             raise SimulationError("Store capacity must be positive")
         self.sim = sim
@@ -177,7 +203,7 @@ class Store:
 class FilterStore(Store):
     """Store whose ``get`` may specify a predicate over items."""
 
-    def __init__(self, sim: Simulator, capacity: float = float("inf")):
+    def __init__(self, sim: Simulator, capacity: float = float("inf")) -> None:
         super().__init__(sim, capacity)
         self._fgetters: deque[tuple[Event, Callable[[Any], bool]]] = deque()
 

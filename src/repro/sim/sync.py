@@ -24,7 +24,7 @@ class Gate:
     number of times; each ``open()`` releases every current waiter.
     """
 
-    def __init__(self, sim: Simulator, opened: bool = True):
+    def __init__(self, sim: Simulator, opened: bool = True) -> None:
         self.sim = sim
         self._open = opened
         self._waiters: deque[Event] = deque()
@@ -60,7 +60,7 @@ class SimBarrier:
     arrived; all are then released and the barrier resets.
     """
 
-    def __init__(self, sim: Simulator, parties: int):
+    def __init__(self, sim: Simulator, parties: int) -> None:
         if parties < 1:
             raise SimulationError("barrier needs at least one party")
         self.sim = sim
@@ -88,7 +88,7 @@ class SimBarrier:
 class Semaphore:
     """Counting semaphore with FIFO wakeup."""
 
-    def __init__(self, sim: Simulator, value: int = 1):
+    def __init__(self, sim: Simulator, value: int = 1) -> None:
         if value < 0:
             raise SimulationError("semaphore value must be >= 0")
         self.sim = sim

@@ -1,0 +1,258 @@
+"""SimSanitizer: every check fires with attribution, and a sanitized run
+of a correct simulation is observably identical to an unsanitized one."""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import asdict
+
+import pytest
+
+from repro import JobSpec, MpiIoTest, run_experiment
+from repro.cluster import paper_spec
+from repro.devtools.sanitizer import SanitizerError
+from repro.sim import Resource, Simulator
+from repro.sim.core import NORMAL
+
+
+def drain(sim):
+    return sim.run()
+
+
+# ---------------------------------------------------------------------------
+# enablement
+# ---------------------------------------------------------------------------
+
+
+def test_off_by_default(monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    assert Simulator().sanitizer is None
+
+
+def test_env_var_enables(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    assert Simulator().sanitizer is not None
+
+
+def test_explicit_flag_wins_over_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    assert Simulator(sanitize=False).sanitizer is None
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    assert Simulator(sanitize=True).sanitizer is not None
+
+
+# ---------------------------------------------------------------------------
+# clean runs: the sanitizer observes without perturbing
+# ---------------------------------------------------------------------------
+
+
+def test_clean_run_passes_and_counts_events():
+    sim = Simulator(sanitize=True)
+
+    def body():
+        yield sim.timeout(1.0)
+        yield sim.timeout(0.5)
+
+    sim.process(body())
+    drain(sim)
+    summary = sim.sanitizer.summary()
+    assert summary["n_events"] >= 3
+    assert summary["live_processes"] == 0
+    assert summary["open_requests"] == 0
+
+
+def test_timeout_pool_still_recycles_when_sanitizing():
+    sim = Simulator(sanitize=True)
+
+    def loop(n):
+        for _ in range(n):
+            yield sim.timeout(0.001)
+
+    sim.process(loop(50))
+    drain(sim)
+    assert sim._pool, "sanitizer must not defeat the Timeout free list"
+
+
+def test_sanitized_experiment_is_bit_identical(monkeypatch):
+    def measurements():
+        res = run_experiment(
+            [JobSpec("m", 8, MpiIoTest(file_size=4 * 1024 * 1024, op="R"))],
+            cluster_spec=paper_spec(n_compute_nodes=8, trace_disks=True),
+        )
+        jobs = [asdict(j) for j in res.jobs]
+        traces = [
+            [(r.time, r.lbn, r.nsectors) for r in t.records] if t is not None else None
+            for t in res.cluster.traces
+        ]
+        return jobs, traces
+
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    plain = measurements()
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    assert measurements() == plain
+
+
+# ---------------------------------------------------------------------------
+# process lifecycle
+# ---------------------------------------------------------------------------
+
+
+def test_leaked_process_raises_with_name():
+    sim = Simulator(sanitize=True)
+
+    def stuck():
+        yield sim.event()  # never fires
+
+    sim.process(stuck(), name="stuck-proc")
+    with pytest.raises(SanitizerError, match="'stuck-proc'"):
+        drain(sim)
+
+
+def test_daemon_process_is_not_a_leak():
+    sim = Simulator(sanitize=True)
+
+    def service():
+        while True:
+            yield sim.store_get  # pragma: no cover - never reached
+
+    def sampler():
+        yield sim.event()
+
+    sim.process(sampler(), name="svc", daemon=True)
+    drain(sim)  # daemon still alive at drain: fine
+
+
+def test_completed_processes_are_forgotten():
+    sim = Simulator(sanitize=True)
+
+    def quick():
+        yield sim.timeout(0.1)
+
+    for _ in range(10):
+        sim.process(quick())
+    drain(sim)
+    assert sim.sanitizer.summary()["live_processes"] == 0
+
+
+# ---------------------------------------------------------------------------
+# resource ownership
+# ---------------------------------------------------------------------------
+
+
+def test_leaked_resource_attributed_to_owner():
+    sim = Simulator(sanitize=True)
+    res = Resource(sim, capacity=1)
+
+    def holder():
+        yield res.request()
+        yield sim.timeout(1.0)  # exits without releasing
+
+    sim.process(holder(), name="holder")
+    with pytest.raises(SanitizerError) as exc:
+        drain(sim)
+    msg = str(exc.value)
+    assert "never released" in msg
+    assert "'holder'" in msg
+    assert "Resource(capacity=1)" in msg
+
+
+def test_double_release_attributed():
+    sim = Simulator(sanitize=True)
+    res = Resource(sim, capacity=1)
+
+    def dbl():
+        req = res.request()
+        yield req
+        res.release(req)
+        res.release(req)
+
+    sim.process(dbl(), name="dbl-proc")
+    with pytest.raises(SanitizerError) as exc:
+        drain(sim)
+    msg = str(exc.value)
+    assert "double release" in msg
+    assert msg.count("'dbl-proc'") >= 2  # acquirer and releaser named
+
+
+def test_handoff_release_is_clean():
+    # Granting a queued request from another process's release is normal.
+    sim = Simulator(sanitize=True)
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def worker(tag, hold_s):
+        req = res.request()
+        yield req
+        yield sim.timeout(hold_s)
+        res.release(req)
+        order.append(tag)
+
+    sim.process(worker("a", 1.0), name="a")
+    sim.process(worker("b", 0.5), name="b")
+    drain(sim)
+    assert order == ["a", "b"]
+    assert sim.sanitizer.summary()["open_requests"] == 0
+
+
+# ---------------------------------------------------------------------------
+# dispatch-time invariants (injected violations)
+# ---------------------------------------------------------------------------
+
+
+def test_negative_timestamp_raises():
+    sim = Simulator(sanitize=True)
+    sim._enqueue(sim.event(), delay=-5.0, priority=NORMAL)
+    with pytest.raises(SanitizerError, match="negative event timestamp"):
+        drain(sim)
+
+
+def test_backwards_time_raises():
+    sim = Simulator(sanitize=True)
+
+    def late():
+        yield sim.timeout(5.0)
+
+    sim.process(late())
+    drain(sim)
+    # Inject a stale entry dated before the clock: heap discipline broken.
+    heapq.heappush(sim._heap, (2.0, NORMAL, 10**9, sim.event()))
+    with pytest.raises(SanitizerError, match="time went backwards"):
+        drain(sim)
+
+
+def test_stale_tie_sequence_raises():
+    sim = Simulator(sanitize=True)
+
+    heapq.heappush(sim._heap, (1.0, NORMAL, 500, sim.event()))
+    drain(sim)
+    # An entry in the same (time, priority) band carrying a sequence number
+    # that is not fresher than the last dispatched one -- the signature of a
+    # recycled event re-enqueued with its old key.
+    heapq.heappush(sim._heap, (1.0, NORMAL, 499, sim.event()))
+    with pytest.raises(SanitizerError, match="tie order violated"):
+        drain(sim)
+
+
+def test_double_dispatch_raises():
+    sim = Simulator(sanitize=True)
+    ev = sim.event()
+    ev.succeed()
+    sim.step()  # processed normally
+    heapq.heappush(sim._heap, (sim.now, NORMAL, sim._seq + 1, ev))  # alias
+    with pytest.raises(SanitizerError, match="double dispatch"):
+        drain(sim)
+
+
+def test_tie_counting():
+    sim = Simulator(sanitize=True)
+
+    def a():
+        yield sim.timeout(1.0)
+
+    def b():
+        yield sim.timeout(1.0)
+
+    sim.process(a())
+    sim.process(b())
+    drain(sim)
+    assert sim.sanitizer.summary()["n_ties"] >= 1

@@ -1,0 +1,297 @@
+"""simlint: per-rule fixtures, ignore comments, reporters, and the
+full-tree gate (``repro lint src`` must stay clean)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.devtools.simlint import (
+    RULES,
+    Finding,
+    lint_paths,
+    lint_source,
+    render_json,
+    render_text,
+)
+
+SIM_PATH = "src/repro/sim/fixture.py"  # profile: sim scope, not wallclock-exempt
+
+
+def rules_of(findings: list[Finding]) -> list[str]:
+    return [f.rule for f in findings]
+
+
+# ---------------------------------------------------------------------------
+# SL001 -- unordered iteration
+# ---------------------------------------------------------------------------
+
+
+class TestSL001:
+    def test_fresh_set_iteration_flagged(self):
+        src = "def f(xs):\n    for x in set(xs):\n        pass\n"
+        assert rules_of(lint_source(src, SIM_PATH)) == ["SL001"]
+
+    def test_dict_keys_iteration_flagged(self):
+        src = "def f(d):\n    for k in d.keys():\n        pass\n"
+        assert rules_of(lint_source(src, SIM_PATH)) == ["SL001"]
+
+    def test_tracked_local_set_flagged(self):
+        src = "def f(xs):\n    s = set(xs)\n    for x in s:\n        pass\n"
+        assert rules_of(lint_source(src, SIM_PATH)) == ["SL001"]
+
+    def test_set_attribute_flagged(self):
+        src = (
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self.pending = set()\n"
+            "    def go(self):\n"
+            "        return [x for x in self.pending]\n"
+        )
+        assert rules_of(lint_source(src, SIM_PATH)) == ["SL001"]
+
+    def test_dataclass_field_set_flagged_cross_object(self):
+        src = (
+            "from dataclasses import dataclass, field\n"
+            "@dataclass\n"
+            "class Cycle:\n"
+            "    blocked: set[int] = field(default_factory=set)\n"
+            "def f(cyc):\n"
+            "    for r in cyc.blocked:\n"
+            "        pass\n"
+        )
+        assert rules_of(lint_source(src, SIM_PATH)) == ["SL001"]
+
+    def test_sorted_set_is_clean(self):
+        src = "def f(xs):\n    for x in sorted(set(xs)):\n        pass\n"
+        assert lint_source(src, SIM_PATH) == []
+
+    def test_constant_literal_set_is_clean(self):
+        src = "def f():\n    for x in {1, 2, 3}:\n        pass\n"
+        assert lint_source(src, SIM_PATH) == []
+
+    def test_reassigned_to_list_clears_tracking(self):
+        src = "def f(xs):\n    s = set(xs)\n    s = sorted(s)\n    for x in s:\n        pass\n"
+        assert lint_source(src, SIM_PATH) == []
+
+    def test_outside_sim_scope_not_flagged(self):
+        src = "def f(xs):\n    for x in set(xs):\n        pass\n"
+        assert lint_source(src, "src/repro/workloads/fixture.py") == []
+
+
+# ---------------------------------------------------------------------------
+# SL002 -- wall-clock reads
+# ---------------------------------------------------------------------------
+
+
+class TestSL002:
+    def test_time_time_flagged(self):
+        src = "import time\ndef f():\n    return time.time()\n"
+        assert rules_of(lint_source(src, SIM_PATH)) == ["SL002"]
+
+    def test_perf_counter_from_import_flagged(self):
+        src = "from time import perf_counter\ndef f():\n    return perf_counter()\n"
+        assert rules_of(lint_source(src, SIM_PATH)) == ["SL002"]
+
+    def test_datetime_now_flagged(self):
+        src = "from datetime import datetime\ndef f():\n    return datetime.now()\n"
+        assert rules_of(lint_source(src, SIM_PATH)) == ["SL002"]
+
+    def test_datetime_module_form_flagged(self):
+        src = "import datetime\ndef f():\n    return datetime.datetime.now()\n"
+        assert rules_of(lint_source(src, SIM_PATH)) == ["SL002"]
+
+    def test_benchmarks_and_runner_exempt(self):
+        src = "import time\ndef f():\n    return time.time()\n"
+        assert lint_source(src, "benchmarks/bench_x.py") == []
+        assert lint_source(src, "src/repro/runner/parallel.py") == []
+
+    def test_time_sleep_not_flagged(self):
+        src = "import time\ndef f():\n    time.sleep(1)\n"
+        assert lint_source(src, SIM_PATH) == []
+
+
+# ---------------------------------------------------------------------------
+# SL003 -- global RNG state
+# ---------------------------------------------------------------------------
+
+
+class TestSL003:
+    def test_module_level_random_flagged(self):
+        src = "import random\ndef f():\n    return random.randint(0, 9)\n"
+        assert rules_of(lint_source(src, SIM_PATH)) == ["SL003"]
+
+    def test_from_import_flagged(self):
+        src = "from random import shuffle\ndef f(xs):\n    shuffle(xs)\n"
+        assert rules_of(lint_source(src, SIM_PATH)) == ["SL003"]
+
+    def test_numpy_global_flagged(self):
+        src = "import numpy as np\ndef f():\n    return np.random.rand(3)\n"
+        assert rules_of(lint_source(src, SIM_PATH)) == ["SL003"]
+
+    def test_seeded_instances_allowed(self):
+        src = (
+            "import random\n"
+            "import numpy as np\n"
+            "def f(seed):\n"
+            "    rng = random.Random(seed)\n"
+            "    nrng = np.random.default_rng(seed)\n"
+            "    return rng.random() + nrng.random()\n"
+        )
+        assert lint_source(src, SIM_PATH) == []
+
+
+# ---------------------------------------------------------------------------
+# SL004 -- mutable defaults
+# ---------------------------------------------------------------------------
+
+
+class TestSL004:
+    @pytest.mark.parametrize(
+        "default", ["[]", "{}", "set()", "list()", "dict()", "{1: 2}"]
+    )
+    def test_mutable_default_flagged(self, default):
+        src = f"def f(x={default}):\n    pass\n"
+        assert rules_of(lint_source(src, SIM_PATH)) == ["SL004"]
+
+    def test_kwonly_and_lambda_defaults_flagged(self):
+        src = "def f(*, x=[]):\n    pass\ng = lambda y={}: y\n"
+        assert rules_of(lint_source(src, SIM_PATH)) == ["SL004", "SL004"]
+
+    def test_none_and_tuple_defaults_clean(self):
+        src = "def f(x=None, y=(), z=3):\n    pass\n"
+        assert lint_source(src, SIM_PATH) == []
+
+
+# ---------------------------------------------------------------------------
+# SL005 -- non-Event yields in process generators
+# ---------------------------------------------------------------------------
+
+
+class TestSL005:
+    def test_constant_yield_flagged(self):
+        src = (
+            "def proc(sim):\n"
+            "    yield sim.timeout(1.0)\n"
+            "    yield 42\n"
+        )
+        assert rules_of(lint_source(src, SIM_PATH)) == ["SL005"]
+
+    def test_bare_yield_flagged(self):
+        src = "def proc(sim):\n    yield sim.timeout(1.0)\n    yield\n"
+        assert rules_of(lint_source(src, SIM_PATH)) == ["SL005"]
+
+    def test_non_process_generator_not_flagged(self):
+        # A workload op stream yields plain values and never events.
+        src = "def ops(n):\n    for i in range(n):\n        yield i\n"
+        assert lint_source(src, SIM_PATH) == []
+
+    def test_event_yields_clean(self):
+        src = (
+            "def proc(sim, res):\n"
+            "    req = res.request()\n"
+            "    yield req\n"
+            "    yield sim.timeout(0.5)\n"
+        )
+        assert lint_source(src, SIM_PATH) == []
+
+
+# ---------------------------------------------------------------------------
+# ignore comments
+# ---------------------------------------------------------------------------
+
+
+class TestIgnores:
+    SRC = "import time\ndef f():\n    return time.time(){comment}\n"
+
+    def test_rule_specific_ignore(self):
+        src = self.SRC.format(comment="  # simlint: ignore[SL002] harness timing")
+        assert lint_source(src, SIM_PATH) == []
+
+    def test_blanket_ignore(self):
+        src = self.SRC.format(comment="  # simlint: ignore")
+        assert lint_source(src, SIM_PATH) == []
+
+    def test_wrong_rule_ignore_does_not_suppress(self):
+        src = self.SRC.format(comment="  # simlint: ignore[SL001]")
+        assert rules_of(lint_source(src, SIM_PATH)) == ["SL002"]
+
+    def test_multi_rule_ignore(self):
+        src = self.SRC.format(comment="  # simlint: ignore[SL001, SL002]")
+        assert lint_source(src, SIM_PATH) == []
+
+
+# ---------------------------------------------------------------------------
+# reporters, selection, path walking, CLI
+# ---------------------------------------------------------------------------
+
+
+class TestReporting:
+    FINDINGS_SRC = "import time\ndef f(x=[]):\n    return time.time()\n"
+
+    def test_json_reporter_schema(self):
+        findings = lint_source(self.FINDINGS_SRC, SIM_PATH)
+        doc = json.loads(render_json(findings))
+        assert doc["version"] == 1
+        assert doc["counts"] == {"SL002": 1, "SL004": 1}
+        assert len(doc["findings"]) == 2
+        for item in doc["findings"]:
+            assert set(item) == {"path", "line", "col", "rule", "message"}
+            assert item["rule"] in RULES
+
+    def test_text_reporter(self):
+        findings = lint_source(self.FINDINGS_SRC, SIM_PATH)
+        text = render_text(findings)
+        assert f"{SIM_PATH}:2" in text and "SL004" in text
+        assert "2 finding(s)" in text
+        assert render_text([]) == "simlint: no findings"
+
+    def test_select_filters_rules(self):
+        findings = lint_source(self.FINDINGS_SRC, SIM_PATH, select=["SL004"])
+        assert rules_of(findings) == ["SL004"]
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ValueError, match="SL999"):
+            lint_source("x = 1\n", SIM_PATH, select=["SL999"])
+
+    def test_syntax_error_reported_not_raised(self):
+        findings = lint_source("def f(:\n", SIM_PATH)
+        assert rules_of(findings) == ["SL000"]
+
+    def test_lint_paths_walks_directories(self, tmp_path):
+        pkg = tmp_path / "src" / "repro" / "sim"
+        pkg.mkdir(parents=True)
+        (pkg / "bad.py").write_text("def f(x=[]):\n    pass\n")
+        (pkg / "good.py").write_text("def f(x=None):\n    pass\n")
+        (pkg / "__pycache__").mkdir()
+        (pkg / "__pycache__" / "junk.py").write_text("def f(x=[]):\n    pass\n")
+        findings = lint_paths([tmp_path])
+        assert [Path(f.path).name for f in findings] == ["bad.py"]
+
+    def test_cli_lint_exit_codes(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("def f(x=None):\n    pass\n")
+        assert cli_main(["lint", str(clean)]) == 0
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("def f(x=[]):\n    pass\n")
+        assert cli_main(["lint", str(dirty)]) == 1
+        out = capsys.readouterr().out
+        assert "SL004" in out
+
+    def test_cli_lint_json_format(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("def f(x=[]):\n    pass\n")
+        assert cli_main(["lint", str(dirty), "--format", "json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["counts"] == {"SL004": 1}
+
+
+def test_full_tree_is_clean():
+    """The acceptance gate: ``repro lint src`` exits 0 on this tree."""
+
+    src = Path(__file__).resolve().parent.parent / "src"
+    findings = lint_paths([src])
+    assert findings == [], render_text(findings)
