@@ -1,7 +1,7 @@
 PYTHON ?= python
 NPROC ?= $(shell nproc 2>/dev/null || echo 1)
 
-.PHONY: install test test-fast lint sanitize bench bench-fast bench-kernel examples results clean
+.PHONY: install test test-fast coverage lint sanitize bench bench-fast bench-kernel bench-gate examples results clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -28,6 +28,14 @@ lint:
 		&& $(PYTHON) -m mypy \
 		|| echo "mypy not installed; skipping"
 
+# Tier-1 tests under coverage (pytest-cov, dev extra); CI fails below
+# 80% line coverage of the repro package.  Skipped when uninstalled.
+coverage:
+	@$(PYTHON) -c "import pytest_cov" 2>/dev/null \
+		&& $(PYTHON) -m pytest tests/ -q --cov=repro --cov-report=term \
+		   --cov-report=xml --cov-fail-under=80 \
+		|| echo "pytest-cov not installed; skipping"
+
 # Tier-1 determinism suite with the runtime sim-sanitizer armed.
 sanitize:
 	REPRO_SANITIZE=1 PYTHONPATH=src $(PYTHON) -m pytest tests/test_determinism.py tests/test_sanitizer.py -q
@@ -42,6 +50,11 @@ bench-fast:
 
 bench-kernel:
 	$(PYTHON) benchmarks/bench_kernel_micro.py
+
+# Kernel-bench regression gate: fails when events/sec drops more than
+# 25% below benchmarks/results/BENCH_kernel.baseline.json.
+bench-gate:
+	$(PYTHON) benchmarks/check_regression.py
 
 # Regenerate the archived outputs referenced by EXPERIMENTS.md.
 results:

@@ -14,7 +14,9 @@ internals when applicable; ``compare`` runs the same workload under every
 strategy and prints a comparison table; ``lint`` runs the simlint
 determinism rules (see docs/static_analysis.md).  ``run``/``report``/
 ``compare`` accept ``--sanitize`` to enable the runtime SimSanitizer for
-every simulator the command creates (including parallel workers).
+every simulator the command creates (including parallel workers), and
+``--metrics``/``--trace-out`` to attach the observability layer and dump
+a metrics snapshot / Chrome-trace JSON (see docs/observability.md).
 """
 
 from __future__ import annotations
@@ -147,6 +149,42 @@ def _job_rows(result) -> list[list]:
     ]
 
 
+def _observe_from_args(args):
+    """An :class:`~repro.obs.Observability` when ``--metrics`` or
+    ``--trace-out`` was given, else None (zero-overhead plain run)."""
+    if getattr(args, "metrics", None) or getattr(args, "trace_out", None):
+        from repro.obs import Observability
+
+        return Observability()
+    return None
+
+
+def _export_obs(args, result) -> None:
+    """Write the metrics snapshot and/or Chrome trace a command asked for."""
+    obs = result.observe
+    if obs is None:
+        return
+    from repro.obs import (
+        chrome_trace_events,
+        darshan_summary,
+        write_chrome_trace,
+        write_metrics,
+    )
+
+    if getattr(args, "metrics", None):
+        write_metrics(args.metrics, result.metrics)
+        print(f"metrics snapshot written to {args.metrics}")
+    if getattr(args, "trace_out", None):
+        events = chrome_trace_events(obs.tracer, registry_snapshot=result.metrics)
+        write_chrome_trace(args.trace_out, events)
+        print(
+            f"trace written to {args.trace_out} "
+            f"({len(events)} events; load in Perfetto / chrome://tracing)"
+        )
+    print()
+    print(darshan_summary(result))
+
+
 def _apply_sanitize(args) -> None:
     """Honour ``--sanitize`` by setting ``REPRO_SANITIZE`` for this process.
 
@@ -166,6 +204,7 @@ def cmd_run(args) -> int:
         [JobSpec(args.workload, args.nprocs, workload, strategy=args.strategy)],
         cluster_spec=_cluster_from_args(args),
         dualpar_config=_dualpar_from_args(args),
+        observe=_observe_from_args(args),
     )
     print(
         format_table(
@@ -190,6 +229,7 @@ def cmd_run(args) -> int:
         f"{blk.mean_queue_depth:.1f}, mean disk request "
         f"{blk.mean_unit_sectors * 512 / 1024:.0f} KB"
     )
+    _export_obs(args, result)
     return 0
 
 
@@ -207,6 +247,7 @@ def cmd_compare(args) -> int:
             ],
             cluster_spec=_cluster_from_args(args),
             dualpar_config=_dualpar_from_args(args),
+            observe=bool(args.metrics),
             label=strategy,
         )
         for strategy in args.strategies
@@ -224,6 +265,24 @@ def cmd_compare(args) -> int:
             float_fmt="{:.2f}",
         )
     )
+    if args.metrics:
+        from repro.obs import merge_metric_snapshots, write_metrics
+
+        merged = merge_metric_snapshots(
+            {
+                strategy: result.metrics
+                for strategy, result in zip(args.strategies, results)
+                if result.metrics is not None
+            }
+        )
+        write_metrics(args.metrics, merged)
+        print(f"\nper-strategy metrics written to {args.metrics}")
+    if args.trace_out:
+        print(
+            "note: --trace-out applies to `run`/`report` only "
+            "(compare cells run in worker processes)",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -236,8 +295,10 @@ def cmd_report(args) -> int:
         [JobSpec(args.workload, args.nprocs, workload, strategy=args.strategy)],
         cluster_spec=_cluster_from_args(args),
         dualpar_config=_dualpar_from_args(args),
+        observe=_observe_from_args(args),
     )
     print(summarize(result))
+    _export_obs(args, result)
     return 0
 
 
@@ -308,6 +369,18 @@ def _add_common(p: argparse.ArgumentParser) -> None:
         "--sanitize",
         action="store_true",
         help="enable the runtime SimSanitizer (sets REPRO_SANITIZE=1)",
+    )
+    p.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="attach the observability layer; write a metrics-snapshot JSON",
+    )
+    p.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome/Perfetto trace_event JSON of the run",
     )
 
 

@@ -46,12 +46,16 @@ class Cluster:
         return sum(depths) / len(depths)
 
 
-def build_cluster(spec: Optional[ClusterSpec] = None) -> Cluster:
+def build_cluster(spec: Optional[ClusterSpec] = None, observe=None) -> Cluster:
     """Instantiate a ready-to-run :class:`Cluster` from ``spec``
-    (defaults to :class:`ClusterSpec`'s Darwin-like configuration)."""
+    (defaults to :class:`ClusterSpec`'s Darwin-like configuration).
+
+    ``observe`` is an optional :class:`repro.obs.Observability` layer;
+    when given, every component registers its instruments there.
+    """
 
     spec = spec or ClusterSpec()
-    sim = Simulator()
+    sim = Simulator(observe=observe)
     network = Network(sim, spec.n_nodes, spec.network)
     layout = StripeLayout(spec.n_data_servers, spec.stripe_unit)
 
@@ -61,8 +65,13 @@ def build_cluster(spec: Optional[ClusterSpec] = None) -> Cluster:
     allocators: list[ExtentAllocator] = []
     devices = []
 
+    registry = sim.obs.registry if sim.obs.enabled else None
     for i in range(spec.n_data_servers):
-        trace = BlkTrace(name=f"server{i}") if spec.trace_disks else None
+        trace = (
+            BlkTrace(name=f"server{i}", registry=registry)
+            if spec.trace_disks
+            else None
+        )
         # NB: BlkTrace defines __len__, so an empty trace is falsy --
         # compare against None explicitly.
         hook = trace.hook if trace is not None else None

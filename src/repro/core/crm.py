@@ -44,6 +44,18 @@ class Crm:
         self.n_writeback_batches = 0
         self.prefetched_bytes = 0
         self.writeback_bytes = 0
+        if self.sim.obs.enabled:
+            reg = self.sim.obs.registry
+            pre = f"crm.{engine.job.name}"
+            self._m_prefetched = reg.counter(f"{pre}.prefetched_bytes")
+            self._m_writeback = reg.counter(f"{pre}.writeback_bytes")
+            self._m_pf_batches = reg.counter(f"{pre}.prefetch_batches")
+            self._m_wb_batches = reg.counter(f"{pre}.writeback_batches")
+        else:
+            self._m_prefetched = None
+            self._m_writeback = None
+            self._m_pf_batches = None
+            self._m_wb_batches = None
 
     # ------------------------------------------------------------------
 
@@ -114,6 +126,8 @@ class Crm:
             )
         if node_procs:
             self.n_prefetch_batches += 1
+            if self._m_pf_batches is not None:
+                self._m_pf_batches.inc()
             yield all_of(sim, node_procs)
 
     def _prefetch_node(self, node: int, per_file: dict[str, list[int]]):
@@ -144,6 +158,8 @@ class Crm:
                 for seg in merged:
                     yield from client.io(f, seg.offset, seg.length, "R", stream_id)
             self.prefetched_bytes += total
+            if self._m_prefetched is not None:
+                self._m_prefetched.inc(total)
             # Store every covered chunk (hole-filled data is cached too):
             # one batched multiput scatters the chunks to their owners, in
             # the background -- cache inserts pipeline behind the fetch.
@@ -187,6 +203,8 @@ class Crm:
             for node, per_file in sorted(by_node.items())
         ]
         self.n_writeback_batches += 1
+        if self._m_wb_batches is not None:
+            self._m_wb_batches.inc()
         yield all_of(self.sim, node_procs)
         for chunk in dirty:
             cache.clean(chunk.key)
@@ -215,3 +233,5 @@ class Crm:
                 for seg in to_write:
                     yield from client.io(f, seg.offset, seg.length, "W", stream_id)
             self.writeback_bytes += requested
+            if self._m_writeback is not None:
+                self._m_writeback.inc(requested)

@@ -51,6 +51,17 @@ class EmcDaemon:
         self.config = config
         self.sim = system.runtime.sim
         self.samples: list[EmcSample] = []
+        if self.sim.obs.enabled:
+            reg = self.sim.obs.registry
+            self._ts_improvement = reg.timeseries("emc.improvement")
+            self._ts_seek_dist = reg.timeseries("emc.ave_seek_dist")
+            self._ts_req_dist = reg.timeseries("emc.ave_req_dist")
+            self._n_ticks = reg.counter("emc.ticks")
+        else:
+            self._ts_improvement = None
+            self._ts_seek_dist = None
+            self._ts_req_dist = None
+            self._n_ticks = None
         self._proc = self.sim.process(self._run(), name="emc", daemon=True)
 
     # ------------------------------------------------------------------
@@ -114,15 +125,22 @@ class EmcDaemon:
                 else:
                     if ratio is not None and ratio < cfg.io_ratio_exit:
                         engine.set_mode("normal")
-            self.samples.append(
-                EmcSample(
-                    time=sim.now,
-                    ave_seek_dist=self.ave_seek_dist(),
-                    ave_req_dist=self.ave_req_dist(),
-                    improvement=imp,
-                    io_ratios=ratios,
-                )
+            sample = EmcSample(
+                time=sim.now,
+                ave_seek_dist=self.ave_seek_dist(),
+                ave_req_dist=self.ave_req_dist(),
+                improvement=imp,
+                io_ratios=ratios,
             )
+            self.samples.append(sample)
+            if self._n_ticks is not None:
+                self._n_ticks.inc()
+                if sample.improvement is not None:
+                    self._ts_improvement.record(sim.now, sample.improvement)
+                if sample.ave_seek_dist is not None:
+                    self._ts_seek_dist.record(sim.now, sample.ave_seek_dist)
+                if sample.ave_req_dist is not None:
+                    self._ts_req_dist.record(sim.now, sample.ave_req_dist)
 
     # ------------------------------------------------------------------
 

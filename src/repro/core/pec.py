@@ -79,6 +79,18 @@ class Pec:
         self.n_deadline_stops = 0
         #: (cycle_id, misprefetch_ratio) history
         self.misprefetch_history: list[tuple[int, float]] = []
+        if self.sim.obs.enabled:
+            reg = self.sim.obs.registry
+            pre = f"pec.{self.job.name}"
+            self._m_cycles = reg.counter(f"{pre}.cycles")
+            self._m_deadline_stops = reg.counter(f"{pre}.deadline_stops")
+            self._ts_misprefetch = reg.timeseries(f"{pre}.misprefetch_ratio")
+            self._tracer = self.sim.obs.tracer
+        else:
+            self._m_cycles = None
+            self._m_deadline_stops = None
+            self._ts_misprefetch = None
+            self._tracer = None
 
     # ------------------------------------------------------------------
 
@@ -109,6 +121,8 @@ class Pec:
         self._account_previous_cycle()
         self._cycle_counter += 1
         self.n_cycles += 1
+        if self._m_cycles is not None:
+            self._m_cycles.inc()
         cyc = Cycle(
             cycle_id=self._cycle_counter,
             resume_event=self.sim.event(),
@@ -139,6 +153,8 @@ class Pec:
         if total > 0:
             ratio = unused / total
             self.misprefetch_history.append((target, ratio))
+            if self._ts_misprefetch is not None:
+                self._ts_misprefetch.record(self.sim.now, ratio)
             self.engine.system.report_misprefetch(self.engine, ratio)
             if ratio > self.config.misprefetch_threshold:
                 # Only demonstrably wrong data is evicted; TTL ages out
@@ -187,8 +203,27 @@ class Pec:
                 # the ghost neither issues nor records them.
         except Interrupt:
             self.n_deadline_stops += 1
+            if self._m_deadline_stops is not None:
+                self._m_deadline_stops.inc()
 
     def _controller(self, cyc: Cycle):
+        tr = self._tracer
+        if tr is not None:
+            # Async span: a job's cycles never overlap, but several jobs'
+            # cycles can, each on its own track.
+            with tr.span(
+                "pec.cycle",
+                track=f"pec.{self.job.name}",
+                cat="dualpar",
+                async_=True,
+                cycle=cyc.cycle_id,
+                deadline_s=cyc.deadline_s,
+            ):
+                yield from self._controller_body(cyc)
+        else:
+            yield from self._controller_body(cyc)
+
+    def _controller_body(self, cyc: Cycle):
         sim = self.sim
         ghosts_done = all_of(sim, cyc.ghosts)
         deadline = sim.timeout(cyc.deadline_s)

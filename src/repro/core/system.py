@@ -42,6 +42,13 @@ class DualParSystem:
         self._samplers: dict[int, JobIoSampler] = {}
         #: (time, job name, new mode) transitions, for Fig-7 style analysis.
         self.transitions: list[tuple[float, str, str]] = []
+        sim = runtime.sim
+        self._transition_counter = (
+            sim.obs.registry.counter("emc.mode_transitions")
+            if sim.obs.enabled
+            else None
+        )
+        self._tracer = sim.obs.tracer if sim.obs.enabled else None
         self.emc = EmcDaemon(self, self.config)
 
     # ------------------------------------------------------------------
@@ -86,6 +93,12 @@ class DualParSystem:
 
     def log_transition(self, job: "MpiJob", mode: str) -> None:
         self.transitions.append((self.runtime.sim.now, job.name, mode))
+        if self._transition_counter is not None:
+            self._transition_counter.inc()
+            self._tracer.instant(
+                "emc.mode_transition", track="emc", cat="dualpar",
+                job=job.name, mode=mode,
+            )
 
     def report_misprefetch(self, engine: "DualParEngine", ratio: float) -> None:
         self.emc.report_misprefetch(engine, ratio)

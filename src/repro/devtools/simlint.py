@@ -73,7 +73,7 @@ RULES: dict[str, str] = {
 
 #: Subpackages of ``repro`` where SL001 applies (event-schedule-feeding code).
 SIM_PACKAGES = frozenset(
-    {"sim", "disk", "iosched", "pfs", "cache", "mpiio", "core"}
+    {"sim", "disk", "iosched", "pfs", "cache", "mpiio", "core", "obs"}
 )
 #: Path segments exempt from SL002 (the wall-clock measurement harness).
 WALLCLOCK_EXEMPT_PARTS = frozenset({"benchmarks", "runner"})

@@ -34,6 +34,27 @@ from repro.sim import Simulator
 __all__ = ["BlockDevice", "DiskDrive", "DiskParams"]
 
 
+class _DiskMetrics:
+    """Registry instruments for one drive (allocated only when observed)."""
+
+    __slots__ = ("accesses", "seeks", "seek_s", "rotation_s", "transfer_s",
+                 "sectors", "sequential_hits", "seek_sectors")
+
+    def __init__(self, registry, name: str):
+        pre = f"disk.{name}"
+        self.accesses = registry.counter(f"{pre}.accesses")
+        self.seeks = registry.counter(f"{pre}.seeks")
+        self.seek_s = registry.counter(f"{pre}.seek_s")
+        self.rotation_s = registry.counter(f"{pre}.rotation_s")
+        self.transfer_s = registry.counter(f"{pre}.transfer_s")
+        self.sectors = registry.counter(f"{pre}.sectors")
+        self.sequential_hits = registry.counter(f"{pre}.sequential_hits")
+        # Seek distance per request, in sectors (Fig 7(b)'s quantity).
+        self.seek_sectors = registry.histogram(
+            f"{pre}.seek_sectors", bounds=[2**i for i in range(8, 31, 2)]
+        )
+
+
 @dataclass(frozen=True)
 class DiskParams:
     """Datasheet-style drive parameters (defaults: a 7200-RPM SATA drive)."""
@@ -117,6 +138,10 @@ class DiskDrive:
         self.head_cylinder = 0
         self._next_sequential_lbn: Optional[int] = None
         self._busy = False
+        #: None when unobserved so the hot path pays one identity check.
+        self._metrics: Optional[_DiskMetrics] = (
+            _DiskMetrics(sim.obs.registry, name) if sim.obs.enabled else None
+        )
 
     @property
     def total_sectors(self) -> int:
@@ -124,11 +149,9 @@ class DiskDrive:
 
     # ------------------------------------------------------------------
 
-    def service_time(self, lbn: int, nsectors: int) -> float:
-        """Pure function of (head state, clock): seconds to serve a request.
-
-        Does not mutate state; ``service`` uses it then commits.
-        """
+    def _decompose(self, lbn: int, nsectors: int) -> tuple[float, float, float]:
+        """``(seek, rotation, transfer)`` seconds for a request, given the
+        current head state and clock.  Pure: does not mutate state."""
         if nsectors <= 0:
             raise ValueError("nsectors must be positive")
         geo = self.geometry
@@ -144,7 +167,7 @@ class DiskDrive:
 
         if self._next_sequential_lbn is not None and lbn == self._next_sequential_lbn:
             # Streaming continuation: head is already in position.
-            return transfer
+            return 0.0, 0.0, transfer
 
         target_cyl = geo.cylinder_of(lbn)
         seek = self.seek_model.seek_time(target_cyl - self.head_cylinder)
@@ -154,6 +177,14 @@ class DiskDrive:
         head_angle = (t_arrive / rev) % 1.0
         target_angle = geo.angle_of(lbn)
         rotation = ((target_angle - head_angle) % 1.0) * rev
+        return seek, rotation, transfer
+
+    def service_time(self, lbn: int, nsectors: int) -> float:
+        """Pure function of (head state, clock): seconds to serve a request.
+
+        Does not mutate state; ``service`` uses it then commits.
+        """
+        seek, rotation, transfer = self._decompose(lbn, nsectors)
         return seek + rotation + transfer
 
     def service(self, lbn: int, nsectors: int, op: str = "R") -> Generator:
@@ -167,11 +198,24 @@ class DiskDrive:
         self._busy = True
         try:
             start = self.sim.now
-            duration = self.service_time(lbn, nsectors)
+            seek, rotation, transfer = self._decompose(lbn, nsectors)
+            duration = seek + rotation + transfer
             prev_end = self._next_sequential_lbn
             seek_sectors = 0 if prev_end is None else abs(lbn - prev_end)
             if self.on_access is not None:
                 self.on_access(start, lbn, nsectors, op)
+            m = self._metrics
+            if m is not None:
+                m.accesses.inc()
+                m.sectors.inc(nsectors)
+                m.seek_s.inc(seek)
+                m.rotation_s.inc(rotation)
+                m.transfer_s.inc(transfer)
+                if seek == 0.0 and rotation == 0.0:
+                    m.sequential_hits.inc()
+                else:
+                    m.seeks.inc()
+                m.seek_sectors.observe(seek_sectors)
             yield self.sim.timeout(duration)
             # Commit head state.
             last = lbn + nsectors - 1

@@ -23,6 +23,30 @@ from repro.sim import Event, Simulator, any_of
 __all__ = ["BlockLayer", "BlockLayerStats"]
 
 
+class _BlkMetrics:
+    """Registry instruments for one block layer (allocated when observed)."""
+
+    __slots__ = ("submitted", "units", "merged", "queue_depth", "unit_sectors",
+                 "start_delay_s")
+
+    def __init__(self, registry, name: str):
+        pre = f"blk.{name}"
+        self.submitted = registry.counter(f"{pre}.submitted")
+        self.units = registry.counter(f"{pre}.units_served")
+        #: Requests absorbed into another unit by front/back merging.
+        self.merged = registry.counter(f"{pre}.merged")
+        self.queue_depth = registry.histogram(
+            f"{pre}.queue_depth", bounds=[1, 2, 4, 8, 16, 32, 64, 128, 256]
+        )
+        self.unit_sectors = registry.histogram(
+            f"{pre}.unit_sectors", bounds=[8, 16, 32, 64, 128, 256, 512, 1024, 2048]
+        )
+        self.start_delay_s = registry.histogram(
+            f"{pre}.start_delay_s",
+            bounds=[1e-4, 1e-3, 5e-3, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0],
+        )
+
+
 @dataclass
 class BlockLayerStats:
     n_submitted: int = 0
@@ -77,6 +101,10 @@ class BlockLayer:
         self._head_lbn = 0
         self._arrival: Optional[Event] = None
         self._congestion_waiters: list[Event] = []
+        self._metrics: Optional[_BlkMetrics] = (
+            _BlkMetrics(sim.obs.registry, name) if sim.obs.enabled else None
+        )
+        self._tracer = sim.obs.tracer if sim.obs.enabled else None
         self._dispatcher = sim.process(
             self._dispatch_loop(), name=f"{name}-dispatch", daemon=True
         )
@@ -91,6 +119,7 @@ class BlockLayer:
         stream_id: int = 0,
         tag: object = None,
         is_async: bool = False,
+        trace_id: int = 0,
     ) -> Event:
         """Queue a request; returns its completion event."""
         completion = self.sim.event()
@@ -103,9 +132,12 @@ class BlockLayer:
             completion=completion,
             tag=tag,
             is_async=is_async,
+            trace_id=trace_id,
         )
         self.scheduler.add(req, self.sim.now)
         self.stats.n_submitted += 1
+        if self._metrics is not None:
+            self._metrics.submitted.inc()
         if self._arrival is not None and not self._arrival.triggered:
             self._arrival.succeed()
         return completion
@@ -151,7 +183,29 @@ class BlockLayer:
             self.stats.depth_samples.append(len(self.scheduler) + 1)
             for part in unit.parts:
                 self.stats.service_start_delays.append(sim.now - part.submit_time)
-            yield from self.device.service(unit.lbn, unit.nsectors, unit.op)
+            m = self._metrics
+            if m is not None:
+                m.queue_depth.observe(len(self.scheduler) + 1)
+                m.unit_sectors.observe(unit.nsectors)
+                m.units.inc()
+                if len(unit.parts) > 1:
+                    m.merged.inc(len(unit.parts) - 1)
+                for part in unit.parts:
+                    m.start_delay_s.observe(sim.now - part.submit_time)
+            if self._tracer is not None:
+                with self._tracer.span(
+                    "disk.service",
+                    track=self.name,
+                    cat="iosched",
+                    trace=unit.parts[0].trace_id if unit.parts else 0,
+                    lbn=unit.lbn,
+                    nsectors=unit.nsectors,
+                    op=unit.op,
+                    parts=len(unit.parts),
+                ):
+                    yield from self.device.service(unit.lbn, unit.nsectors, unit.op)
+            else:
+                yield from self.device.service(unit.lbn, unit.nsectors, unit.op)
             self._head_lbn = unit.end
             self.stats.record_unit(unit.nsectors)
             done_at = sim.now

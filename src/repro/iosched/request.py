@@ -29,6 +29,10 @@ class BlockRequest:
     #: Readahead / writeback requests nobody synchronously waits on.
     #: CFQ gives them background treatment: no idling, yield to sync.
     is_async: bool = False
+    #: Observability trace-context id (0 = untraced).  Propagated from the
+    #: originating MPI I/O operation so a span at the disk can be tied back
+    #: to the collective read that caused it.
+    trace_id: int = 0
 
     @property
     def end(self) -> int:

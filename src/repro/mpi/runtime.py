@@ -145,6 +145,7 @@ class MpiJob:
         sim = self.sim
         stream = proc.stream
         engine = self.engine
+        tracer = sim.obs.tracer if sim.obs.enabled else None
         while True:
             op = stream.next_for_run()
             if op is None:
@@ -161,7 +162,24 @@ class MpiJob:
                 proc.metrics.compute_time_s += sim.now - t0
             elif isinstance(op, IoOp):
                 t0 = sim.now
-                yield from engine.do_io(proc, op)
+                if tracer is not None:
+                    # Root span of the trace: everything this operation
+                    # causes downstream (pfs, iosched, disk) carries the
+                    # trace id minted here.
+                    trace_id = tracer.new_trace()
+                    tracer.bind_stream(proc.stream_id, trace_id)
+                    with tracer.span(
+                        "mpi.io",
+                        track=f"{self.name}:rank{proc.rank}",
+                        cat="mpi",
+                        trace=trace_id,
+                        op=op.op,
+                        file=op.file_name,
+                        bytes=op.total_bytes,
+                    ):
+                        yield from engine.do_io(proc, op)
+                else:
+                    yield from engine.do_io(proc, op)
                 dt = sim.now - t0
                 proc.metrics.io_time_s += dt
                 proc.metrics.n_io_calls += 1

@@ -1,0 +1,132 @@
+"""Unified observability: metrics, span tracing, and trace export.
+
+The simulation-native measurement substrate (think Darshan for the
+simulated cluster): components publish counters, gauges, histograms, and
+time series into one :class:`MetricsRegistry`, and request flows are
+recorded as spans by one :class:`Tracer` -- all stamped with *simulated*
+time, never wall time.
+
+Usage::
+
+    from repro.obs import Observability
+
+    obs = Observability()
+    result = run_experiment(specs, observe=obs)
+    snap = obs.snapshot(result.sim_now)
+    write_metrics("metrics.json", snap)
+    write_chrome_trace("trace.json", chrome_trace_events(obs.tracer))
+
+Off by default and zero-overhead when disabled: a plain
+``Simulator()`` carries the shared :data:`NULL_OBS` whose registry and
+tracer are no-ops, and components that instrument hot paths hold
+``None`` instead of instruments when observability is off.  Observing a
+run never schedules events, reads wall clocks, or consumes randomness,
+so an observed run is bit-identical to a plain one.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.obs.export import (
+    chrome_trace_events,
+    darshan_summary,
+    merge_metric_snapshots,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.obs.registry import (
+    NULL_INSTRUMENT,
+    NULL_REGISTRY,
+    Counter,
+    EventLog,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    TimeSeries,
+)
+from repro.obs.sampling import PeriodicSampler
+from repro.obs.tracing import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanRecord,
+    Tracer,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Simulator
+
+__all__ = [
+    "Counter",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_INSTRUMENT",
+    "NULL_OBS",
+    "NULL_REGISTRY",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullObservability",
+    "NullRegistry",
+    "NullTracer",
+    "Observability",
+    "PeriodicSampler",
+    "Span",
+    "SpanRecord",
+    "TimeSeries",
+    "Tracer",
+    "chrome_trace_events",
+    "darshan_summary",
+    "merge_metric_snapshots",
+    "write_chrome_trace",
+    "write_metrics",
+]
+
+
+class Observability:
+    """One registry plus one tracer, bound to one simulator.
+
+    Pass an instance as ``Simulator(observe=...)`` -- or, higher up,
+    ``run_experiment(..., observe=...)`` / ``build_cluster(spec,
+    observe=...)`` -- and every component of that simulation registers
+    its instruments here.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer()
+
+    def bind(self, sim: "Simulator") -> None:
+        """Attach the tracer to ``sim``'s clock (called by Simulator)."""
+        self.tracer.bind(sim)
+
+    def snapshot(self, now: float) -> dict:
+        """The registry snapshot stamped with simulated time ``now``."""
+        return self.registry.snapshot(now)
+
+
+class NullObservability:
+    """The disabled observability layer: shared no-op registry/tracer."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.registry = NULL_REGISTRY
+        self.tracer = NULL_TRACER
+
+    def bind(self, sim: "Simulator") -> None:
+        pass
+
+    def snapshot(self, now: float) -> dict:
+        return {}
+
+
+#: The process-wide disabled-observability singleton every plain
+#: Simulator shares.
+NULL_OBS = NullObservability()

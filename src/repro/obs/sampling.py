@@ -1,0 +1,55 @@
+"""The one periodic sampling loop every windowed recorder shares.
+
+Before the observability layer, each recorder that wanted per-interval
+samples (the throughput timeline in the experiment harness, the locality
+daemon on every data server) carried its own copy of the same daemon
+loop: sleep an interval, compute a delta, append a sample.  This class is
+that loop, written once; recorders supply only the probe.
+
+The sampler is a plain simulation daemon: it exists in observed *and*
+plain runs alike (the timeline and SeekDist series are simulation
+features, not observability features), so attaching an observability
+layer never adds or removes a process from the schedule -- the
+bit-identical-runs guarantee rests on that.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Simulator
+
+__all__ = ["PeriodicSampler"]
+
+
+class PeriodicSampler:
+    """Calls ``probe(sim_now)`` every ``interval_s`` of simulated time.
+
+    The probe does its own recording (into a recorder's sample list, a
+    registry timeseries, or both); the sampler owns only the cadence.
+    Runs as a daemon process so the sanitizer's leak check skips it.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        interval_s: float,
+        probe: Callable[[float], None],
+        name: str = "sampler",
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("sampling interval must be positive")
+        self.sim = sim
+        self.interval_s = interval_s
+        self.probe = probe
+        self.name = name
+        self._proc = sim.process(self._run(), name=name, daemon=True)
+
+    def _run(self):  # type: ignore[no-untyped-def]
+        sim = self.sim
+        interval = self.interval_s
+        probe = self.probe
+        while True:
+            yield sim.timeout(interval)
+            probe(sim.now)

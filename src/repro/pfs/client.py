@@ -41,10 +41,13 @@ class PfsClient:
         self.layout = layout
         self.bytes_read = 0
         self.bytes_written = 0
+        self._tracer = sim.obs.tracer if sim.obs.enabled else None
 
     # ------------------------------------------------------------------
 
-    def _do_piece(self, f: PfsFile, piece: StripePiece, op: str, stream_id: int) -> Generator:
+    def _do_piece(
+        self, f: PfsFile, piece: StripePiece, op: str, stream_id: int, trace_id: int = 0
+    ) -> Generator:
         server = self.servers[piece.server]
         net = self.network
         if op == "W":
@@ -61,6 +64,7 @@ class PfsClient:
                 length=piece.length,
                 op=op,
                 stream_id=stream_id,
+                trace_id=trace_id,
             )
         )
         yield done
@@ -96,11 +100,31 @@ class PfsClient:
             return
         split = self.layout.split_coalesced if coalesce else self.layout.split
         pieces = split(offset, length)
+        tr = self._tracer
+        trace_id = tr.trace_of_stream(stream_id) if tr is not None else 0
         procs = [
-            self.sim.process(self._do_piece(f, p, op, stream_id), name="pfs-piece")
+            self.sim.process(
+                self._do_piece(f, p, op, stream_id, trace_id), name="pfs-piece"
+            )
             for p in pieces
         ]
-        yield all_of(self.sim, procs)
+        if tr is not None:
+            # Async span: one client node can have overlapping I/O calls.
+            with tr.span(
+                "pfs.io",
+                track=f"client{self.node_id}",
+                cat="pfs",
+                trace=trace_id,
+                async_=True,
+                file=f.name,
+                op=op,
+                offset=offset,
+                length=length,
+                pieces=len(pieces),
+            ):
+                yield all_of(self.sim, procs)
+        else:
+            yield all_of(self.sim, procs)
         if op == "R":
             self.bytes_read += length
         else:

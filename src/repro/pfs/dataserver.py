@@ -46,6 +46,21 @@ class ServerRequest:
     length: int
     op: str  # 'R' | 'W'
     stream_id: int
+    #: Observability trace-context id (0 = untraced); carried through to
+    #: the block requests this server request fans out into.
+    trace_id: int = 0
+
+
+class _DsMetrics:
+    """Registry instruments for one data server (allocated when observed)."""
+
+    __slots__ = ("requests", "bytes_read", "bytes_written")
+
+    def __init__(self, registry, server_index: int):
+        pre = f"pfs.ds{server_index}"
+        self.requests = registry.counter(f"{pre}.requests")
+        self.bytes_read = registry.counter(f"{pre}.bytes_read")
+        self.bytes_written = registry.counter(f"{pre}.bytes_written")
 
 
 class DataServer:
@@ -94,6 +109,10 @@ class DataServer:
         self.n_io_threads = n_io_threads
         self.n_requests = 0
         self.bytes_served = 0
+        self._metrics: Optional[_DsMetrics] = (
+            _DsMetrics(sim.obs.registry, server_index) if sim.obs.enabled else None
+        )
+        self._tracer = sim.obs.tracer if sim.obs.enabled else None
 
     def _io_context(self, client_stream: int) -> int:
         return client_stream % self.n_io_threads
@@ -132,6 +151,7 @@ class DataServer:
                     op=req.op,
                     stream_id=self._io_context(req.stream_id),
                     is_async=is_async,
+                    trace_id=req.trace_id,
                 )
             )
             pos += take
@@ -157,6 +177,7 @@ class DataServer:
                     op=req.op,
                     stream_id=self._io_context(req.stream_id),
                     is_async=is_async,
+                    trace_id=req.trace_id,
                 )
             )
             pos += take
@@ -214,6 +235,7 @@ class DataServer:
                         length=ra_end - ra_start,
                         op="R",
                         stream_id=req.stream_id,
+                        trace_id=req.trace_id,
                     )
                     sim.process(
                         self._disk_read_tracked(ra_req, ra_start, ra_end, is_async=True),
@@ -241,6 +263,7 @@ class DataServer:
                 length=read_end - end,
                 op="R",
                 stream_id=req.stream_id,
+                trace_id=req.trace_id,
             )
             sim.process(
                 self._disk_read_tracked(ra_req, end, read_end, is_async=True),
@@ -259,6 +282,7 @@ class DataServer:
                 length=end - start,
                 op="R",
                 stream_id=req.stream_id,
+                trace_id=req.trace_id,
             )
             completions = yield from self._submit_blocks_throttled(
                 disk_req, is_async=is_async
@@ -270,10 +294,30 @@ class DataServer:
 
     def _service(self, req: ServerRequest, done: Event):
         sim = self.sim
-        yield sim.timeout(REQUEST_CPU_S)
-        yield from self._perform_io(req)
+        tr = self._tracer
+        if tr is not None:
+            # Async span: many server requests overlap on one server track.
+            with tr.span(
+                "pfs.server",
+                track=f"ds{self.server_index}",
+                cat="pfs",
+                trace=req.trace_id,
+                async_=True,
+                op=req.op,
+                length=req.length,
+                file=req.file_name,
+            ):
+                yield sim.timeout(REQUEST_CPU_S)
+                yield from self._perform_io(req)
+        else:
+            yield sim.timeout(REQUEST_CPU_S)
+            yield from self._perform_io(req)
         self.n_requests += 1
         self.bytes_served += req.length
+        m = self._metrics
+        if m is not None:
+            m.requests.inc()
+            (m.bytes_read if req.op == "R" else m.bytes_written).inc(req.length)
         done.succeed(sim.now)
 
     # ------------------------------------------------------------------
@@ -291,6 +335,23 @@ class DataServer:
 
     def _service_list(self, reqs: list[ServerRequest], done: Event):
         sim = self.sim
+        tr = self._tracer
+        if tr is not None:
+            with tr.span(
+                "pfs.server_list",
+                track=f"ds{self.server_index}",
+                cat="pfs",
+                trace=reqs[0].trace_id if reqs else 0,
+                async_=True,
+                pieces=len(reqs),
+                bytes=sum(r.length for r in reqs),
+            ):
+                yield from self._service_list_body(reqs, done)
+        else:
+            yield from self._service_list_body(reqs, done)
+
+    def _service_list_body(self, reqs: list[ServerRequest], done: Event):
+        sim = self.sim
         yield sim.timeout(REQUEST_CPU_S + LIST_PIECE_CPU_S * len(reqs))
         pieces = [
             sim.process(self._perform_io(req), name=f"ds{self.server_index}-piece")
@@ -300,6 +361,11 @@ class DataServer:
         self.n_requests += len(reqs)
         total = sum(r.length for r in reqs)
         self.bytes_served += total
+        m = self._metrics
+        if m is not None:
+            m.requests.inc(len(reqs))
+            for r in reqs:
+                (m.bytes_read if r.op == "R" else m.bytes_written).inc(r.length)
         done.succeed(sim.now)
 
 
@@ -318,27 +384,35 @@ class LocalityDaemon:
         interval_s: float = 1.0,
         name: str = "locality",
     ):
+        from repro.obs.sampling import PeriodicSampler
+
         self.sim = sim
         self.device = device
         self.interval_s = interval_s
         self.name = name
         #: (slot_end_time, mean seek sectors, n requests in slot)
         self.samples: list[tuple[float, float, int]] = []
-        self._proc = sim.process(self._run(), name=name, daemon=True)
+        self._last_n = 0
+        self._last_seek = 0
+        #: When observed, the SeekDist series is also published.
+        self._series = (
+            sim.obs.registry.timeseries(f"locality.{name}.seekdist")
+            if sim.obs.enabled
+            else None
+        )
+        self._sampler = PeriodicSampler(sim, interval_s, self._probe, name=name)
+        self._proc = self._sampler._proc
 
-    def _run(self):
-        sim = self.sim
-        last_n = 0
-        last_seek = 0
-        while True:
-            yield sim.timeout(self.interval_s)
-            stats = self.device.stats
-            dn = stats.n_requests - last_n
-            dseek = stats.total_seek_sectors - last_seek
-            mean = (dseek / dn) if dn > 0 else 0.0
-            self.samples.append((sim.now, mean, dn))
-            last_n = stats.n_requests
-            last_seek = stats.total_seek_sectors
+    def _probe(self, now: float) -> None:
+        stats = self.device.stats
+        dn = stats.n_requests - self._last_n
+        dseek = stats.total_seek_sectors - self._last_seek
+        mean = (dseek / dn) if dn > 0 else 0.0
+        self.samples.append((now, mean, dn))
+        if self._series is not None:
+            self._series.record(now, mean)
+        self._last_n = stats.n_requests
+        self._last_seek = stats.total_seek_sectors
 
     def recent_seek_dist(self, n_slots: int = 3) -> Optional[float]:
         """Average SeekDist over the last ``n_slots`` active slots."""

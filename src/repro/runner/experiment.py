@@ -66,6 +66,10 @@ class ExperimentResult:
     dualpar: Optional[DualParSystem]
     timeline: Optional[ThroughputTimeline]
     mpi_jobs: list[MpiJob]
+    #: The observability layer the run used (None for plain runs) and its
+    #: end-of-run registry snapshot stamped with final sim time.
+    observe: Any = None
+    metrics: Optional[dict] = None
 
     @property
     def system_throughput_mb_s(self) -> float:
@@ -104,17 +108,21 @@ def run_experiment(
     dualpar_config: Optional[DualParConfig] = None,
     timeline_window_s: Optional[float] = None,
     limit_s: float = 1e6,
+    observe=None,
 ) -> ExperimentResult:
     """Run ``specs`` on one fresh cluster; return all measurements.
 
     Jobs with ``delay_s > 0`` start late (the Fig-7 varying-workload
     scenario).  A DualPar system (EMC + recorders) is instantiated iff any
     job uses a dualpar strategy.  ``timeline_window_s`` enables a windowed
-    system-throughput series (Fig 7(a)).
+    system-throughput series (Fig 7(a)).  ``observe`` is an optional
+    :class:`repro.obs.Observability` layer; every component of the run
+    publishes its instruments there, and the final registry snapshot is
+    returned as ``result.metrics``.
     """
     if not specs:
         raise ValueError("need at least one job spec")
-    cluster = build_cluster(cluster_spec)
+    cluster = build_cluster(cluster_spec, observe=observe)
     runtime = MpiRuntime(cluster)
     _create_files(cluster, specs)
 
@@ -140,17 +148,18 @@ def run_experiment(
 
     timeline: Optional[ThroughputTimeline] = None
     if timeline_window_s is not None:
-        timeline = ThroughputTimeline("system")
+        from repro.obs.sampling import PeriodicSampler
 
-        def sampler():
-            last = 0
-            while True:
-                yield runtime.sim.timeout(timeline_window_s)
-                total = sum(j.total_io_bytes() for j in jobs)
-                timeline.record(runtime.sim.now, total - last)
-                last = total
+        registry = runtime.sim.obs.registry if runtime.sim.obs.enabled else None
+        timeline = ThroughputTimeline("system", registry=registry)
+        state = {"last": 0}
 
-        runtime.sim.process(sampler(), name="timeline", daemon=True)
+        def probe(now: float) -> None:
+            total = sum(j.total_io_bytes() for j in jobs)
+            timeline.record(now, total - state["last"])
+            state["last"] = total
+
+        PeriodicSampler(runtime.sim, timeline_window_s, probe, name="timeline")
 
     for job in jobs:
         runtime.sim.run_until_event(job.done, limit=limit_s)
@@ -178,4 +187,10 @@ def run_experiment(
         dualpar=dualpar,
         timeline=timeline,
         mpi_jobs=jobs,
+        observe=observe,
+        metrics=(
+            observe.snapshot(runtime.sim.now)
+            if observe is not None and observe.enabled
+            else None
+        ),
     )

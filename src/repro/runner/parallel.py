@@ -63,6 +63,9 @@ class ExperimentSpec:
     dualpar_config: Optional[DualParConfig] = None
     timeline_window_s: Optional[float] = None
     limit_s: float = 1e6
+    #: Attach an observability layer to the cell's simulator and carry the
+    #: end-of-run metrics snapshot back in the slim result.
+    observe: bool = False
     #: Free-form display label; not part of the cache fingerprint.
     label: str = ""
 
@@ -88,6 +91,8 @@ class SlimExperimentResult:
     dualpar_transitions: list[tuple[float, str, str]] = field(default_factory=list)
     #: Windowed throughput timeline, when timeline_window_s was given.
     timeline: Optional[Any] = None
+    #: End-of-run metrics snapshot, when the cell ran with observe=True.
+    metrics: Optional[dict] = None
 
     @property
     def system_throughput_mb_s(self) -> float:
@@ -112,6 +117,7 @@ class SlimExperimentResult:
             total_bytes_served=res.cluster.total_bytes_served(),
             dualpar_transitions=list(res.dualpar.transitions) if res.dualpar else [],
             timeline=res.timeline,
+            metrics=res.metrics,
         )
 
 
@@ -183,6 +189,9 @@ def experiment_fingerprint(spec: ExperimentSpec) -> str:
             spec.dualpar_config,
             spec.timeline_window_s,
             spec.limit_s,
+            # Observed cells carry a metrics snapshot a plain cached cell
+            # would lack, so the flag must key the cache.
+            spec.observe,
         )
     )
     h = hashlib.sha256()
@@ -243,12 +252,18 @@ def _cache_store(path: Path, result: SlimExperimentResult) -> None:
 
 def _run_spec(spec: ExperimentSpec) -> SlimExperimentResult:
     """Worker entry point: evaluate one cell from scratch."""
+    observe = None
+    if spec.observe:
+        from repro.obs import Observability
+
+        observe = Observability()
     res = run_experiment(
         list(spec.specs),
         cluster_spec=spec.cluster_spec,
         dualpar_config=spec.dualpar_config,
         timeline_window_s=spec.timeline_window_s,
         limit_s=spec.limit_s,
+        observe=observe,
     )
     return SlimExperimentResult.from_full(res)
 

@@ -25,6 +25,15 @@ dispatch-time invariants (clock monotonicity, strict schedule-key
 ordering, no double dispatch) and tracks process/resource lifecycle.
 Service loops that intentionally never finish must be spawned with
 ``daemon=True`` so the sanitizer's leak check skips them.
+
+Observing: ``Simulator(observe=obs)`` attaches a
+:class:`repro.obs.Observability` (metrics registry + span tracer) that
+components publish into; the default is the process-wide no-op
+:data:`repro.obs.NULL_OBS`, so an unobserved simulator pays nothing.
+The kernel itself never consults the observability layer -- only
+components (disks, schedulers, servers, caches) do -- and observation
+never schedules events, so observed runs are bit-identical to plain
+runs.
 """
 
 from __future__ import annotations
@@ -33,10 +42,11 @@ import os
 from collections.abc import Generator
 from heapq import heappop, heappush
 from sys import getrefcount
-from typing import TYPE_CHECKING, Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional, Union
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.devtools.sanitizer import SimSanitizer
+    from repro.obs import NullObservability, Observability
 
 __all__ = [
     "Event",
@@ -405,9 +415,16 @@ class Simulator:
     ``sanitize=True`` attaches a :class:`SimSanitizer` performing runtime
     invariant checks (see :mod:`repro.devtools.sanitizer`); the default
     ``None`` defers to the ``REPRO_SANITIZE`` environment variable.
+    ``observe=`` attaches a :class:`repro.obs.Observability` layer that
+    components publish metrics and spans into; the default is the shared
+    no-op :data:`repro.obs.NULL_OBS`.
     """
 
-    def __init__(self, sanitize: Optional[bool] = None) -> None:
+    def __init__(
+        self,
+        sanitize: Optional[bool] = None,
+        observe: Optional["Observability"] = None,
+    ) -> None:
         self._now: float = 0.0
         self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = 0
@@ -426,6 +443,16 @@ class Simulator:
             self._sanitizer = SimSanitizer(self)
         else:
             self._sanitizer = None
+        self.obs: "Union[Observability, NullObservability]"
+        if observe is not None and observe.enabled:
+            self.obs = observe
+            observe.bind(self)
+        else:
+            # Imported lazily: obs depends on nothing in this module at
+            # runtime, but the kernel should not import it eagerly.
+            from repro.obs import NULL_OBS
+
+            self.obs = NULL_OBS
 
     # -- clock & introspection ------------------------------------------
 

@@ -1,11 +1,18 @@
-"""Blktrace-style per-disk access recording."""
+"""Blktrace-style per-disk access recording.
+
+Storage is a :class:`repro.obs.registry.EventLog` -- the same structure
+the observability layer snapshots -- so a trace can be registered into a
+:class:`~repro.obs.registry.MetricsRegistry` (as ``blktrace.<name>``)
+instead of keeping a private list nobody else can discover.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
+
+from repro.obs.registry import EventLog
 
 __all__ = ["AccessRecord", "BlkTrace"]
 
@@ -22,18 +29,28 @@ class BlkTrace:
     """Records every media access of one drive.
 
     Attach by passing :meth:`hook` as the drive's ``on_access`` callback
-    (or pass the trace to the cluster builder, which wires it up).
+    (or pass the trace to the cluster builder, which wires it up).  Pass
+    a :class:`~repro.obs.registry.MetricsRegistry` to publish the access
+    log as the ``blktrace.<name>`` event log.
     """
 
-    def __init__(self, name: str = "blktrace"):
+    def __init__(self, name: str = "blktrace", registry=None):
         self.name = name
-        self.records: list[AccessRecord] = []
+        self._log = EventLog(
+            f"blktrace.{name}", fields=("time", "lbn", "nsectors", "op")
+        )
+        if registry is not None and registry.enabled:
+            registry.attach(self._log.name, self._log)
+
+    @property
+    def records(self) -> list[AccessRecord]:
+        return self._log.rows
 
     def hook(self, time: float, lbn: int, nsectors: int, op: str) -> None:
-        self.records.append(AccessRecord(time, lbn, nsectors, op))
+        self._log.append(AccessRecord(time, lbn, nsectors, op))
 
     def __len__(self) -> int:
-        return len(self.records)
+        return len(self._log)
 
     def window(self, t0: float, t1: float) -> list[AccessRecord]:
         """Records with t0 <= time < t1 (the paper samples 0.2-1 s windows)."""

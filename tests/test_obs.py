@@ -1,0 +1,381 @@
+"""Tests for the observability layer: registry, tracing, export, wiring.
+
+Covers the contract the subsystem advertises: get-or-create registry
+semantics, span propagation across a full PFS read path, Chrome
+trace_event schema validity, bit-identical determinism of observed runs,
+the zero-overhead-when-disabled structure, and the CI kernel-bench
+regression gate.
+"""
+
+import dataclasses
+import json
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro import JobSpec, MpiIoTest, run_experiment
+from repro.cli import main
+from repro.cluster import paper_spec
+from repro.obs import (
+    NULL_INSTRUMENT,
+    NULL_OBS,
+    NULL_SPAN,
+    MetricsRegistry,
+    NullRegistry,
+    NullTracer,
+    Observability,
+    PeriodicSampler,
+    Tracer,
+    chrome_trace_events,
+    darshan_summary,
+    merge_metric_snapshots,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.sim.core import Simulator
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+GATE = REPO / "benchmarks" / "check_regression.py"
+BASELINE = REPO / "benchmarks" / "results" / "BENCH_kernel.baseline.json"
+
+
+def small_spec(strategy="vanilla"):
+    return [JobSpec("j", 4, MpiIoTest(file_size=2 * 1024 * 1024), strategy=strategy)]
+
+
+def small_cluster():
+    return paper_spec(n_compute_nodes=4)
+
+
+# ------------------------------------------------------------ registry
+
+
+def test_registry_get_or_create_returns_same_instrument():
+    reg = MetricsRegistry()
+    c1 = reg.counter("disk.d0.seeks")
+    c1.inc(3)
+    c2 = reg.counter("disk.d0.seeks")
+    assert c1 is c2
+    assert c2.value == 3
+
+
+def test_registry_kind_conflict_raises():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(ValueError, match="already registered as counter"):
+        reg.gauge("x")
+
+
+def test_registry_attach_conflict_raises():
+    from repro.obs import EventLog
+
+    reg = MetricsRegistry()
+    log = EventLog("blktrace.s0", fields=("time", "lbn"))
+    reg.attach("blktrace.s0", log)
+    reg.attach("blktrace.s0", log)  # same object: idempotent
+    with pytest.raises(ValueError):
+        reg.attach("blktrace.s0", EventLog("blktrace.s0"))
+
+
+def test_histogram_buckets_and_stats():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat", bounds=[1.0, 10.0, 100.0])
+    for v in [0.5, 5.0, 50.0, 500.0]:
+        h.observe(v)
+    assert h.counts == [1, 1, 1, 1]  # one per bucket incl. overflow
+    assert h.n == 4
+    assert h.min == 0.5 and h.max == 500.0
+    assert h.mean == pytest.approx(555.5 / 4)
+
+
+def test_histogram_rejects_bad_bounds():
+    with pytest.raises(ValueError):
+        MetricsRegistry().histogram("bad", bounds=[10.0, 1.0])
+
+
+def test_snapshot_shape_and_json_round_trip():
+    reg = MetricsRegistry()
+    reg.counter("c").inc()
+    reg.gauge("g").set(7)
+    reg.histogram("h", bounds=[1.0]).observe(2.0)
+    reg.timeseries("t").record(1.0, 2.0)
+    reg.event_log("e", fields=("a",)).append((1,))
+    snap = reg.snapshot(now=42.0)
+    assert snap["sim_time_s"] == 42.0
+    assert snap["counters"] == {"c": 1}
+    assert snap["gauges"] == {"g": 7}
+    assert snap["histograms"]["h"]["counts"] == [0, 1]
+    assert snap["timeseries"]["t"] == [[1.0, 2.0]]
+    # Event logs snapshot to a count, never a dump.
+    assert snap["event_logs"]["e"] == {"fields": ["a"], "n": 1}
+    assert json.loads(json.dumps(snap)) == snap
+
+
+def test_null_registry_is_inert():
+    reg = NullRegistry()
+    assert reg.counter("x") is NULL_INSTRUMENT
+    reg.counter("x").inc(5)
+    assert len(reg) == 0
+    assert "x" not in reg
+    assert reg.snapshot(1.0) == {}
+
+
+# ------------------------------------------------------------- tracing
+
+
+def test_span_records_sim_time_and_nests():
+    sim = Simulator()
+    tracer = Tracer()
+    tracer.bind(sim)
+
+    def body(sim):
+        with tracer.span("outer", track="t"):
+            yield sim.timeout(2.0)
+            with tracer.span("inner", track="t"):
+                yield sim.timeout(1.0)
+
+    sim.process(body(sim))
+    sim.run()
+    outer, inner = tracer.spans
+    assert (outer.t0, outer.t1) == (0.0, 3.0)
+    assert (inner.t0, inner.t1) == (2.0, 3.0)
+    # Sync spans nest: inner lies within outer on the same track.
+    assert outer.t0 <= inner.t0 and inner.t1 <= outer.t1
+
+
+def test_trace_context_stream_binding():
+    tracer = Tracer()
+    t1, t2 = tracer.new_trace(), tracer.new_trace()
+    assert (t1, t2) == (1, 2)
+    tracer.bind_stream(7, t2)
+    assert tracer.trace_of_stream(7) == t2
+    assert tracer.trace_of_stream(99) == 0  # unbound = untraced
+
+
+def test_null_tracer_is_inert_and_reentrant():
+    tracer = NullTracer()
+    span = tracer.span("x", track="t")
+    assert span is NULL_SPAN
+    with span:
+        with span:
+            pass
+    assert len(tracer) == 0
+    assert tracer.new_trace() == 0
+
+
+def test_periodic_sampler_validates_interval():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        PeriodicSampler(sim, 0.0, lambda now: None)
+
+
+def test_periodic_sampler_fires_at_interval():
+    sim = Simulator()
+    ticks = []
+    PeriodicSampler(sim, 1.0, ticks.append)
+    sim.run(until=3.5)
+    assert ticks == [1.0, 2.0, 3.0]
+
+
+# ----------------------------------------- span propagation (pfs read)
+
+
+def test_spans_propagate_across_pfs_read():
+    obs = Observability()
+    run_experiment(small_spec("vanilla"), cluster_spec=small_cluster(), observe=obs)
+    by_name = {}
+    for rec in obs.tracer.spans:
+        by_name.setdefault(rec.name, []).append(rec)
+    for name in ("mpi.io", "pfs.io", "pfs.server", "disk.service"):
+        assert by_name.get(name), f"no {name} spans recorded"
+    # Every layer of the first MPI-IO call shares its trace-context id.
+    tid = by_name["mpi.io"][0].trace_id
+    assert tid > 0
+    for name in ("pfs.io", "pfs.server", "disk.service"):
+        assert any(r.trace_id == tid for r in by_name[name]), (
+            f"trace {tid} never reached {name}"
+        )
+    # Spans are closed and causally ordered within the trace.
+    mpi = by_name["mpi.io"][0]
+    assert mpi.t1 is not None and mpi.t1 > mpi.t0
+    disk = [r for r in by_name["disk.service"] if r.trace_id == tid]
+    assert all(r.t0 >= mpi.t0 and r.t1 <= mpi.t1 for r in disk)
+
+
+# ------------------------------------------------------- chrome export
+
+
+def test_chrome_trace_schema(tmp_path):
+    obs = Observability()
+    res = run_experiment(small_spec("vanilla"), cluster_spec=small_cluster(), observe=obs)
+    events = chrome_trace_events(obs.tracer, registry_snapshot=res.metrics)
+    assert events, "no trace events"
+    phases = {e["ph"] for e in events}
+    assert {"M", "X"} <= phases
+    begins, ends = [], []
+    for e in events:
+        assert {"ph", "pid", "name"} <= e.keys()
+        if e["ph"] == "X":
+            assert e["ts"] >= 0 and e["dur"] >= 0
+        elif e["ph"] == "b":
+            begins.append(e["id"])
+        elif e["ph"] == "e":
+            ends.append(e["id"])
+        elif e["ph"] in ("i", "C"):
+            assert "ts" in e
+    assert sorted(begins) == sorted(ends)  # async pairs balance
+    meta = [e for e in events if e["ph"] == "M"]
+    assert any(e["name"] == "process_name" for e in meta)
+    assert any(e["name"] == "thread_name" for e in meta)
+    out = write_chrome_trace(tmp_path / "trace.json", events)
+    doc = json.loads(out.read_text())
+    assert doc["traceEvents"] == events
+
+
+def test_darshan_summary_lists_every_rank():
+    obs = Observability()
+    res = run_experiment(small_spec("vanilla"), cluster_spec=small_cluster(), observe=obs)
+    table = darshan_summary(res)
+    assert "io ratio" in table
+    assert table.count("\n") >= 4  # header + one row per rank
+
+
+def test_merge_metric_snapshots_sums_counters():
+    a = {"counters": {"x": 1, "y": 2}}
+    b = {"counters": {"x": 10}}
+    merged = merge_metric_snapshots({"a": a, "b": b})
+    assert merged["merged"]["counters"] == {"x": 11, "y": 2}
+    assert merged["cells"]["a"] is a
+
+
+# -------------------------------------------------------- determinism
+
+
+def test_observed_run_is_bit_identical_to_plain():
+    spec = small_spec("dualpar-forced")
+    plain = run_experiment(spec, cluster_spec=small_cluster(), timeline_window_s=0.5)
+    observed = run_experiment(
+        small_spec("dualpar-forced"),
+        cluster_spec=small_cluster(),
+        timeline_window_s=0.5,
+        observe=Observability(),
+    )
+    assert [dataclasses.asdict(j) for j in plain.jobs] == [
+        dataclasses.asdict(j) for j in observed.jobs
+    ]
+    assert plain.makespan_s == observed.makespan_s
+    assert plain.timeline.series() == observed.timeline.series()
+    assert plain.metrics is None and observed.metrics is not None
+
+
+def test_observed_metrics_cover_every_layer():
+    obs = Observability()
+    run_experiment(
+        small_spec("dualpar-forced"),
+        cluster_spec=paper_spec(n_compute_nodes=4, trace_disks=True),
+        observe=obs,
+    )
+    names = obs.registry.names()
+    for prefix in ("disk.", "blk.", "pfs.", "cache.", "emc.", "pec.", "crm.", "blktrace."):
+        assert any(n.startswith(prefix) for n in names), f"no {prefix}* metrics"
+
+
+# ------------------------------------------- zero-overhead when disabled
+
+
+def test_plain_simulator_shares_null_obs():
+    sim = Simulator()
+    assert sim.obs is NULL_OBS
+    assert not sim.obs.enabled
+    assert Simulator().obs is sim.obs  # one shared singleton, no per-sim cost
+
+
+def test_disabled_components_hold_none_not_instruments():
+    from repro.cluster import build_cluster
+
+    cluster = build_cluster(small_cluster())
+    for ds in cluster.data_servers:
+        assert ds.device._metrics is None
+    run_experiment(small_spec("vanilla"), cluster_spec=small_cluster())
+    # A plain run records nothing into the shared null tracer.
+    assert len(NULL_OBS.tracer.spans) == 0
+    assert len(NULL_OBS.registry) == 0
+
+
+# --------------------------------------------------------- CLI wiring
+
+
+def test_cli_metrics_and_trace_out(tmp_path, capsys):
+    metrics = tmp_path / "m.json"
+    trace = tmp_path / "t.json"
+    rc = main(
+        [
+            "run",
+            "--workload", "mpi-io-test",
+            "--nprocs", "4",
+            "--size-mb", "4",
+            "--strategy", "dualpar-forced",
+            "--compute-nodes", "2",
+            "--data-servers", "3",
+            "--metrics", str(metrics),
+            "--trace-out", str(trace),
+        ]
+    )
+    assert rc == 0
+    snap = json.loads(metrics.read_text())
+    for prefix in ("disk.", "pfs.", "cache.", "emc.", "pec.", "crm."):
+        assert any(n.startswith(prefix) for n in snap["counters"]), prefix
+    doc = json.loads(trace.read_text())
+    assert doc["traceEvents"]
+    assert "per-rank I/O summary" in capsys.readouterr().out
+
+
+def test_write_metrics_round_trips(tmp_path):
+    snap = {"sim_time_s": 1.0, "counters": {"a": 2}}
+    out = write_metrics(tmp_path / "m.json", snap)
+    assert json.loads(out.read_text()) == snap
+
+
+# ------------------------------------------------- CI regression gate
+
+
+def run_gate(*argv):
+    return subprocess.run(
+        [sys.executable, str(GATE), *argv],
+        capture_output=True,
+        text=True,
+        cwd=str(REPO),
+    )
+
+
+def test_committed_baseline_is_valid():
+    data = json.loads(BASELINE.read_text())
+    assert data["events_per_sec"] > 0
+    assert 0 < data["tolerance"] < 1
+
+
+def test_regression_gate_passes_and_fails(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps({"events_per_sec": 1_000_000, "tolerance": 0.25}))
+    ok = run_gate("--baseline", str(baseline), "--measured", "900000")
+    assert ok.returncode == 0, ok.stdout + ok.stderr
+    assert "PASS" in ok.stdout
+    # 700k is a >25% drop from 1M: the gate must fail the build.
+    bad = run_gate("--baseline", str(baseline), "--measured", "700000")
+    assert bad.returncode == 1
+    assert "FAIL" in bad.stdout
+
+
+def test_regression_gate_boundary_and_tolerance_override(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps({"events_per_sec": 1_000_000, "tolerance": 0.25}))
+    # Exactly at the threshold passes (>= threshold).
+    at = run_gate("--baseline", str(baseline), "--measured", "750000")
+    assert at.returncode == 0
+    # A tighter CLI tolerance overrides the baseline's.
+    tight = run_gate(
+        "--baseline", str(baseline), "--measured", "900000", "--tolerance", "0.05"
+    )
+    assert tight.returncode == 1
