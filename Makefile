@@ -1,7 +1,7 @@
 PYTHON ?= python
 NPROC ?= $(shell nproc 2>/dev/null || echo 1)
 
-.PHONY: install test test-fast coverage lint sanitize bench bench-fast bench-kernel bench-gate examples results clean
+.PHONY: install test test-fast coverage lint sanitize chaos bench bench-fast bench-kernel bench-gate examples results clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -39,6 +39,12 @@ coverage:
 # Tier-1 determinism suite with the runtime sim-sanitizer armed.
 sanitize:
 	REPRO_SANITIZE=1 PYTHONPATH=src $(PYTHON) -m pytest tests/test_determinism.py tests/test_sanitizer.py -q
+
+# Fault-injection unit + chaos/property suites with a pinned Hypothesis
+# seed (same invocation as the CI chaos job).
+chaos:
+	PYTHONPATH=src $(PYTHON) -m pytest -q --hypothesis-seed=0 \
+		tests/test_faults.py tests/test_chaos_scenarios.py tests/test_sanitizer.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

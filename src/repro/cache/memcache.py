@@ -71,6 +71,10 @@ class GlobalCache:
         self.compute_node_ids = list(compute_node_ids)
         self.chunk_bytes = chunk_bytes
         self.ttl_s = ttl_s
+        #: Live placement ring: compute_node_ids minus evicted nodes.
+        self._ring = list(compute_node_ids)
+        self._failed_nodes: set[int] = set()
+        self.n_node_failures = 0
         self._chunks: dict[ChunkKey, CachedChunk] = {}
         self.n_gets = 0
         self.n_hits = 0
@@ -83,8 +87,50 @@ class GlobalCache:
     # ------------------------------------------------------------- placement
 
     def owner_of(self, key: ChunkKey) -> int:
-        """Round-robin chunk placement across compute nodes."""
-        return self.compute_node_ids[key.index % len(self.compute_node_ids)]
+        """Round-robin chunk placement across the live cache nodes."""
+        return self._ring[key.index % len(self._ring)]
+
+    def fail_node(self, node: int) -> tuple[int, int]:
+        """Evict a cache node from the ring (fault-injector entry point).
+
+        Clean chunks the node owned are simply lost (a Memcached restart
+        forgets everything).  Dirty chunks must not be lost -- that would
+        silently drop committed application writes -- so their *metadata*
+        migrates to the chunk's new ring owner, modelling the replicated
+        dirty-set a production deployment keeps.  Returns
+        ``(evicted_chunks, migrated_chunks)``.
+        """
+        if node not in self.compute_node_ids:
+            raise ValueError(f"node {node} is not a cache node")
+        if node in self._failed_nodes:
+            raise ValueError(f"node {node} already evicted")
+        ring = [n for n in self._ring if n != node]
+        if not ring:
+            raise ValueError("cannot evict the last cache node")
+        self._failed_nodes.add(node)
+        self._ring = ring
+        self.n_node_failures += 1
+        victims = [
+            k for k, c in self._chunks.items() if c.owner_node == node and not c.dirty
+        ]
+        for k in victims:
+            del self._chunks[k]
+        self.n_evictions += len(victims)
+        if self._metrics is not None:
+            self._metrics.evictions.inc(len(victims))
+        migrated = 0
+        for c in self._chunks.values():
+            if c.owner_node == node:
+                c.owner_node = self.owner_of(c.key)
+                migrated += 1
+        return len(victims), migrated
+
+    def restore_node(self, node: int) -> None:
+        """Return an evicted node to the ring (empty, like a restart)."""
+        if node not in self._failed_nodes:
+            raise ValueError(f"node {node} is not evicted")
+        self._failed_nodes.discard(node)
+        self._ring = [n for n in self.compute_node_ids if n not in self._failed_nodes]
 
     # ------------------------------------------------------------- queries
 

@@ -17,6 +17,8 @@ determinism rules (see docs/static_analysis.md).  ``run``/``report``/
 every simulator the command creates (including parallel workers), and
 ``--metrics``/``--trace-out`` to attach the observability layer and dump
 a metrics snapshot / Chrome-trace JSON (see docs/observability.md).
+``--faults plan.json`` replays a deterministic fault schedule against the
+simulated cluster (see docs/fault_injection.md).
 """
 
 from __future__ import annotations
@@ -149,6 +151,27 @@ def _job_rows(result) -> list[list]:
     ]
 
 
+def _faults_from_args(args):
+    """A :class:`~repro.faults.FaultPlan` loaded from ``--faults``, or None."""
+    path = getattr(args, "faults", None)
+    if not path:
+        return None
+    from repro.faults import FaultPlan
+
+    return FaultPlan.load(path)
+
+
+def _print_fault_summary(result) -> None:
+    faults = getattr(result, "faults", None)
+    if faults is None or not faults.log:
+        return
+    print(f"\nfaults injected ({len(faults.log)} events):")
+    for t, kind, phase, target in faults.log:
+        print(f"  t={t:10.3f}s  {phase:<7}{kind:<14}target={target}")
+    if faults.n_timeouts:
+        print(f"  client request timeouts: {faults.n_timeouts}")
+
+
 def _observe_from_args(args):
     """An :class:`~repro.obs.Observability` when ``--metrics`` or
     ``--trace-out`` was given, else None (zero-overhead plain run)."""
@@ -205,6 +228,7 @@ def cmd_run(args) -> int:
         cluster_spec=_cluster_from_args(args),
         dualpar_config=_dualpar_from_args(args),
         observe=_observe_from_args(args),
+        fault_plan=_faults_from_args(args),
     )
     print(
         format_table(
@@ -229,6 +253,7 @@ def cmd_run(args) -> int:
         f"{blk.mean_queue_depth:.1f}, mean disk request "
         f"{blk.mean_unit_sectors * 512 / 1024:.0f} KB"
     )
+    _print_fault_summary(result)
     _export_obs(args, result)
     return 0
 
@@ -248,6 +273,7 @@ def cmd_compare(args) -> int:
             cluster_spec=_cluster_from_args(args),
             dualpar_config=_dualpar_from_args(args),
             observe=bool(args.metrics),
+            fault_plan=_faults_from_args(args),
             label=strategy,
         )
         for strategy in args.strategies
@@ -296,8 +322,10 @@ def cmd_report(args) -> int:
         cluster_spec=_cluster_from_args(args),
         dualpar_config=_dualpar_from_args(args),
         observe=_observe_from_args(args),
+        fault_plan=_faults_from_args(args),
     )
     print(summarize(result))
+    _print_fault_summary(result)
     _export_obs(args, result)
     return 0
 
@@ -381,6 +409,12 @@ def _add_common(p: argparse.ArgumentParser) -> None:
         metavar="PATH",
         default=None,
         help="write a Chrome/Perfetto trace_event JSON of the run",
+    )
+    p.add_argument(
+        "--faults",
+        metavar="PATH",
+        default=None,
+        help="inject the fault plan JSON deterministically (docs/fault_injection.md)",
     )
 
 

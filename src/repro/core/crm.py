@@ -44,6 +44,13 @@ class Crm:
         self.n_writeback_batches = 0
         self.prefetched_bytes = 0
         self.writeback_bytes = 0
+        #: The node whose CRM leads span partitioning: first in every
+        #: node list.  Nominally node 0, re-elected if evicted.
+        spec = engine.runtime.cluster.spec
+        self.coordinator_node = spec.compute_node_id(0)
+        self.n_reelections = 0
+        self.n_deferred_prefetch_chunks = 0
+        self.n_deferred_writeback_chunks = 0
         if self.sim.obs.enabled:
             reg = self.sim.obs.registry
             pre = f"crm.{engine.job.name}"
@@ -51,11 +58,55 @@ class Crm:
             self._m_writeback = reg.counter(f"{pre}.writeback_bytes")
             self._m_pf_batches = reg.counter(f"{pre}.prefetch_batches")
             self._m_wb_batches = reg.counter(f"{pre}.writeback_batches")
+            self._tracer = self.sim.obs.tracer
         else:
             self._m_prefetched = None
             self._m_writeback = None
             self._m_pf_batches = None
             self._m_wb_batches = None
+            self._tracer = None
+
+    # ------------------------------------------------------------------
+
+    def _live_nodes(self) -> list[int]:
+        """Compute nodes available for CRM batch work, coordinator first.
+
+        Nominally every node, in id order (the coordinator is node 0, so
+        the order -- and therefore every batch plan -- is unchanged from
+        the pre-fault code).  Under cache-node eviction the evicted nodes
+        drop out.
+        """
+        spec = self.engine.runtime.cluster.spec
+        nodes = [spec.compute_node_id(i) for i in range(spec.n_compute_nodes)]
+        faults = self.engine.system.faults
+        if faults is not None:
+            live = faults.live_compute_nodes()
+            nodes = [n for n in nodes if n in live]
+        if self.coordinator_node in nodes and nodes[0] != self.coordinator_node:
+            nodes.remove(self.coordinator_node)
+            nodes.insert(0, self.coordinator_node)
+        return nodes
+
+    def on_node_fault(self, node_id: int) -> None:
+        """A compute node left (cache eviction): re-elect the coordinator
+        if it was the one lost -- lowest live node id wins."""
+        if node_id != self.coordinator_node:
+            return
+        live = self._live_nodes()
+        self.coordinator_node = live[0]
+        self.n_reelections += 1
+        if self._tracer is not None:
+            self._tracer.instant(
+                "crm.reelection",
+                track="faults",
+                cat="fault",
+                old=node_id,
+                new=self.coordinator_node,
+            )
+
+    def _spans_dead_server(self, f, offset: int, length: int, live: frozenset) -> bool:
+        """Does [offset, offset+length) of ``f`` touch a down server?"""
+        return any(p.server not in live for p in f.layout.split_coalesced(offset, length))
 
     # ------------------------------------------------------------------
 
@@ -80,8 +131,8 @@ class Crm:
         cache = self.engine.cache
         cb = cache.chunk_bytes
         fs = self.engine.runtime.cluster.fs
-        spec = self.engine.runtime.cluster.spec
-        nodes = [spec.compute_node_id(i) for i in range(spec.n_compute_nodes)]
+        nodes = self._live_nodes()
+        live_servers = self.engine.system.emc.live_servers()
         wanted: dict[str, set[int]] = {}
         for per_file in cyc.recorded.values():
             for file_name, segs in per_file.items():
@@ -95,8 +146,18 @@ class Crm:
                     if seg.offset >= end:
                         continue
                     for idx in chunk_range(seg.offset, end - seg.offset, cb):
-                        if not cache.contains(ChunkKey(file_name, idx)):
-                            bucket.add(idx)
+                        if cache.contains(ChunkKey(file_name, idx)):
+                            continue
+                        if live_servers is not None:
+                            lo = idx * cb
+                            ln = min(lo + cb, f.size) - lo
+                            if self._spans_dead_server(f, lo, ln, live_servers):
+                                # Striped on a dead server: defer; the
+                                # blocked rank falls back to a direct
+                                # (retrying) read after the cycle.
+                                self.n_deferred_prefetch_chunks += 1
+                                continue
+                        bucket.add(idx)
         out: dict[int, dict[str, list[int]]] = {}
         for file_name, idx_set in wanted.items():
             indices = sorted(idx_set)
@@ -187,7 +248,27 @@ class Crm:
     def writeback_all(self):
         """Write every dirty chunk of this job back, batched per owner node."""
         cache = self.engine.cache
+        fs = self.engine.runtime.cluster.fs
         dirty = cache.dirty_chunks(self.engine.job.job_id)
+        live_servers = self.engine.system.emc.live_servers()
+        if live_servers is not None and dirty:
+            cb = cache.chunk_bytes
+            writable = []
+            for chunk in dirty:
+                try:
+                    f = fs.lookup(chunk.key.file_name)
+                except FileNotFoundError:
+                    writable.append(chunk)
+                    continue
+                lo = chunk.key.index * cb
+                ln = max(min(lo + cb, f.size) - lo, 1)
+                if self._spans_dead_server(f, lo, ln, live_servers):
+                    # Stays dirty in the cache until the server returns;
+                    # a later cycle (or job finalize) writes it back.
+                    self.n_deferred_writeback_chunks += 1
+                else:
+                    writable.append(chunk)
+            dirty = writable
         if not dirty:
             return
         by_node: dict[int, dict[str, list[Segment]]] = {}

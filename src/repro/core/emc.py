@@ -66,6 +66,18 @@ class EmcDaemon:
 
     # ------------------------------------------------------------------
 
+    def live_servers(self) -> Optional[frozenset[int]]:
+        """Data servers the metadata service reports up, or None when no
+        health tracking is installed (nominal run: everything is live).
+
+        CRM consults this when building batch plans so dead servers are
+        dropped rather than timed out against.
+        """
+        health = self.system.health
+        if health is None:
+            return None
+        return frozenset(health.live_servers())
+
     def ave_seek_dist(self) -> Optional[float]:
         vals = [
             d.recent_seek_dist()

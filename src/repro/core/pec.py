@@ -77,6 +77,7 @@ class Pec:
         self._cycle_counter = 0
         self.n_cycles = 0
         self.n_deadline_stops = 0
+        self.n_fault_stops = 0
         #: (cycle_id, misprefetch_ratio) history
         self.misprefetch_history: list[tuple[int, float]] = []
         if self.sim.obs.enabled:
@@ -84,11 +85,13 @@ class Pec:
             pre = f"pec.{self.job.name}"
             self._m_cycles = reg.counter(f"{pre}.cycles")
             self._m_deadline_stops = reg.counter(f"{pre}.deadline_stops")
+            self._m_fault_stops = reg.counter(f"{pre}.fault_stops")
             self._ts_misprefetch = reg.timeseries(f"{pre}.misprefetch_ratio")
             self._tracer = self.sim.obs.tracer
         else:
             self._m_cycles = None
             self._m_deadline_stops = None
+            self._m_fault_stops = None
             self._ts_misprefetch = None
             self._tracer = None
 
@@ -112,6 +115,18 @@ class Pec:
         cyc = self._ensure_cycle()
         cyc.blocked_ranks.add(proc.rank)
         return cyc.resume_event
+
+    def on_server_fault(self, server_index: int) -> None:
+        """A data server crashed: any open pre-execution is planning
+        batches that include it, so stop the ghosts now.  CRM then plans
+        around the dead server ("all unfinished pre-executions are
+        stopped" -- the paper's deadline rule, triggered early)."""
+        cyc = self._cycle
+        if cyc is None or cyc.issuing:
+            return
+        for g in cyc.ghosts:
+            if g.is_alive:
+                g.interrupt("server-fault")
 
     # ------------------------------------------------------------------
 
@@ -201,10 +216,15 @@ class Pec:
                         break
                 # Writes are absorbed by the cache during normal execution;
                 # the ghost neither issues nor records them.
-        except Interrupt:
-            self.n_deadline_stops += 1
-            if self._m_deadline_stops is not None:
-                self._m_deadline_stops.inc()
+        except Interrupt as exc:
+            if exc.cause == "server-fault":
+                self.n_fault_stops += 1
+                if self._m_fault_stops is not None:
+                    self._m_fault_stops.inc()
+            else:
+                self.n_deadline_stops += 1
+                if self._m_deadline_stops is not None:
+                    self._m_deadline_stops.inc()
 
     def _controller(self, cyc: Cycle):
         tr = self._tracer

@@ -49,7 +49,24 @@ class DualParSystem:
             else None
         )
         self._tracer = sim.obs.tracer if sim.obs.enabled else None
+        #: Fault-injection attachments (None nominally): the injector and
+        #: the ServerHealth map it maintains.
+        self.faults = None
+        self.health = None
         self.emc = EmcDaemon(self, self.config)
+
+    # -- fault fan-out ---------------------------------------------------
+
+    def on_server_fault(self, server_index: int) -> None:
+        """A data server crashed: every engine's PEC stops pre-executing
+        for it (the open cycle's batch plan is stale)."""
+        for job_id in sorted(self.engines):
+            self.engines[job_id].pec.on_server_fault(server_index)
+
+    def on_compute_node_fault(self, node_id: int) -> None:
+        """A cache node was evicted: CRMs re-elect lost coordinators."""
+        for job_id in sorted(self.engines):
+            self.engines[job_id].crm.on_node_fault(node_id)
 
     # ------------------------------------------------------------------
 

@@ -20,7 +20,11 @@ or the ``--sanitize`` CLI flag.  Checks:
 - **resource ownership** -- every granted :class:`~repro.sim.resources.
   Resource` slot is tracked with its owning process; a double release or
   a slot still held at drain time is reported *with attribution* (who
-  acquired it, when, and who released it first).
+  acquired it, when, and who released it first);
+- **fault-injection lifecycle** -- components (e.g. crashed data
+  servers) register and unregister themselves; a resurrection that
+  registers twice, an unregister of an unknown component, or a crashed
+  server dispatching new work is reported immediately.
 
 All violations raise :class:`SanitizerError` (a
 :class:`~repro.sim.core.SimulationError`), so an unsanitized run and a
@@ -101,6 +105,8 @@ class SimSanitizer:
         self._live: dict["Process", None] = {}
         #: request object -> lifecycle record (insertion-ordered)
         self._requests: dict[Any, _RequestRecord] = {}
+        #: registered fault-aware components (key -> registration time)
+        self._components: dict[str, float] = {}
 
     # -- dispatch-loop hooks -------------------------------------------
 
@@ -243,6 +249,46 @@ class SimSanitizer:
         rec.released_by = releaser_name
         self.stats.n_releases += 1
 
+    # -- fault-injection lifecycle --------------------------------------
+
+    def on_component_registered(self, key: str) -> None:
+        """A fault-aware component came up (construction or recovery).
+
+        Raises when ``key`` is already registered: a resurrection that
+        re-registers without having crashed would double-create state.
+        """
+
+        if key in self._components:
+            raise SanitizerError(
+                f"component {key!r} registered twice (first at "
+                f"t={self._components[key]:.6g}, again at t={self.sim.now:.6g}); "
+                "a recovery must follow a crash, not duplicate a live component"
+            )
+        self._components[key] = self.sim.now
+
+    def on_component_unregistered(self, key: str) -> None:
+        """A fault-aware component went down (crash).  Raises when the
+        component was never registered (or already unregistered)."""
+
+        if key not in self._components:
+            raise SanitizerError(
+                f"component {key!r} unregistered at t={self.sim.now:.6g} "
+                "but was not registered (double crash, or a component that "
+                "never announced itself)"
+            )
+        del self._components[key]
+
+    def on_server_dispatch(self, server: Any) -> None:
+        """A data server is about to submit block work; a crashed server
+        must not dispatch new requests."""
+
+        if getattr(server, "crashed", False):
+            name = getattr(server, "server_index", "?")
+            raise SanitizerError(
+                f"crashed data server ds{name} dispatched block work at "
+                f"t={self.sim.now:.6g}; crash() must sever all service paths"
+            )
+
     @staticmethod
     def _describe_resource(resource: Any) -> str:
         cap = getattr(resource, "capacity", None)
@@ -262,4 +308,5 @@ class SimSanitizer:
             "n_releases": self.stats.n_releases,
             "live_processes": sum(1 for p in self._live if p.is_alive),
             "open_requests": open_reqs,
+            "registered_components": len(self._components),
         }

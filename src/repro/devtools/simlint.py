@@ -73,7 +73,7 @@ RULES: dict[str, str] = {
 
 #: Subpackages of ``repro`` where SL001 applies (event-schedule-feeding code).
 SIM_PACKAGES = frozenset(
-    {"sim", "disk", "iosched", "pfs", "cache", "mpiio", "core", "obs"}
+    {"sim", "disk", "iosched", "pfs", "cache", "mpiio", "core", "obs", "faults"}
 )
 #: Path segments exempt from SL002 (the wall-clock measurement harness).
 WALLCLOCK_EXEMPT_PARTS = frozenset({"benchmarks", "runner"})
@@ -659,18 +659,30 @@ def lint_source(
 
 def lint_file(path: Union[str, Path], select: Optional[Iterable[str]] = None) -> list[Finding]:
     p = Path(path)
-    return lint_source(p.read_text(encoding="utf-8"), str(p), select=select)
+    try:
+        source = p.read_text(encoding="utf-8")
+    except (UnicodeDecodeError, OSError):
+        # Binary or unreadable file (e.g. a stray .py-named artifact):
+        # skip rather than crash the whole lint run.
+        return []
+    return lint_source(source, str(p), select=select)
+
+
+def _skip_path(f: Path) -> bool:
+    return any(part.startswith(".") or part == "__pycache__" for part in f.parts)
 
 
 def _iter_py_files(paths: Sequence[Union[str, Path]]) -> Iterator[Path]:
     for raw in paths:
         p = Path(raw)
         if p.is_file():
-            if p.suffix == ".py":
+            # Explicit file arguments go through the same filters as
+            # directory walks: cache/hidden paths are never linted.
+            if p.suffix == ".py" and not _skip_path(p):
                 yield p
             continue
         for f in sorted(p.rglob("*.py")):
-            if any(part.startswith(".") or part == "__pycache__" for part in f.parts):
+            if _skip_path(f):
                 continue
             yield f
 

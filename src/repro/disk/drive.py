@@ -138,6 +138,10 @@ class DiskDrive:
         self.head_cylinder = 0
         self._next_sequential_lbn: Optional[int] = None
         self._busy = False
+        #: Fail-slow state set by the fault injector: None nominally,
+        #: anything with ``transfer_factor`` / ``extra_seek_s`` when
+        #: degraded (duck-typed, see repro.faults.plan.DiskFault).
+        self.fault: Optional[object] = None
         #: None when unobserved so the hot path pays one identity check.
         self._metrics: Optional[_DiskMetrics] = (
             _DiskMetrics(sim.obs.registry, name) if sim.obs.enabled else None
@@ -164,6 +168,10 @@ class DiskDrive:
         # once per revolution regardless of how many sectors it holds.
         spt_here = geo.sectors_per_track_at(lbn)
         transfer = nsectors / spt_here * rev
+        fault = self.fault
+        if fault is not None:
+            # Fail-slow: the media streams slower (retried sector reads).
+            transfer *= fault.transfer_factor
 
         if self._next_sequential_lbn is not None and lbn == self._next_sequential_lbn:
             # Streaming continuation: head is already in position.
@@ -171,6 +179,9 @@ class DiskDrive:
 
         target_cyl = geo.cylinder_of(lbn)
         seek = self.seek_model.seek_time(target_cyl - self.head_cylinder)
+        if fault is not None:
+            # A sick actuator re-calibrates: flat penalty per positioning.
+            seek += fault.extra_seek_s
         # Angular position of the head when the seek completes, measured in
         # fractions of a revolution.  The platter spins continuously.
         t_arrive = self.sim.now + seek

@@ -1,0 +1,248 @@
+"""Declarative, seeded fault schedules.
+
+A :class:`FaultPlan` is the complete description of everything that will
+go wrong in a run: a seed (the only entropy source the injector uses), a
+tuple of :class:`FaultEvent` entries pinned to simulated time, and the
+:class:`RetryPolicy` the PFS clients apply while riding the faults out.
+Plans are frozen dataclasses with a JSON round-trip, so they fingerprint
+into the bench cache exactly like every other piece of an
+``ExperimentSpec`` and two runs of the same plan are bit-identical.
+
+Fault taxonomy (see ``docs/fault_injection.md`` for semantics):
+
+- ``disk_failslow``   -- scale a disk's transfer time / add seek penalty;
+- ``server_crash``    -- a data server drops requests and loses RAM state;
+- ``mirror_fail``     -- fail one RAID-1 member, rebuild on repair;
+- ``net_degrade``     -- extra Ethernet latency plus seeded jitter;
+- ``net_partition``   -- transit to/from a node set blocks until healed;
+- ``cache_evict``     -- Memcached nodes leave (and rejoin) the ring.
+
+Windowed events (``until_s`` set) revert automatically; ``until_s=None``
+means the fault is permanent for the run -- except ``net_partition``,
+which *requires* a heal time because transfers crossing the cut wait on
+the heal event and an unhealed partition would hang any non-retried
+sender (e.g. compute-node cache traffic) forever.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Optional
+
+__all__ = ["FAULT_KINDS", "DiskFault", "FaultEvent", "FaultPlan", "RetryPolicy"]
+
+#: Every fault kind the injector knows how to apply.
+FAULT_KINDS: tuple[str, ...] = (
+    "disk_failslow",
+    "server_crash",
+    "mirror_fail",
+    "net_degrade",
+    "net_partition",
+    "cache_evict",
+)
+
+
+@dataclass
+class DiskFault:
+    """Fail-slow state installed on a :class:`~repro.disk.drive.DiskDrive`.
+
+    The drive only duck-types this (``drive.fault`` is ``None`` nominally
+    and anything with these two attributes when degraded), keeping
+    ``repro.disk`` free of a dependency on the faults package.
+    """
+
+    #: Media transfer takes this many times longer (>= 1).
+    transfer_factor: float = 4.0
+    #: Flat penalty added to every non-sequential positioning, modelling
+    #: retried seeks / head re-calibration on a sick actuator.
+    extra_seek_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Client-side timeout/retry knobs used while a plan is installed.
+
+    The per-request timeout is *size-aware*: a fixed small timeout would
+    declare large striped batches dead while the server is still happily
+    streaming them, and every false timeout doubles the offered load
+    (the server keeps servicing the abandoned attempt while the client
+    re-sends it) -- congestion collapse in miniature.  ``timeout_for``
+    therefore floors the implied transfer rate via ``timeout_per_byte_s``.
+    """
+
+    #: Base per-request timeout, independent of payload size.
+    base_timeout_s: float = 2.0
+    #: Additional timeout per payload byte (1e-6 floors the implied
+    #: server rate at ~1 MB/s before a retry fires).
+    timeout_per_byte_s: float = 1e-6
+    #: Attempts beyond the first before the request errors out.
+    max_retries: int = 12
+    #: First backoff sleep; doubles (by default) each retry.
+    backoff_base_s: float = 0.01
+    backoff_factor: float = 2.0
+    #: Backoff ceiling so recovery is noticed promptly.
+    backoff_max_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.base_timeout_s <= 0:
+            raise ValueError("base_timeout_s must be > 0")
+        if self.timeout_per_byte_s < 0:
+            raise ValueError("timeout_per_byte_s must be >= 0")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ValueError("backoff times must be >= 0")
+        if self.backoff_factor < 1:
+            raise ValueError("backoff_factor must be >= 1")
+
+    def timeout_for(self, nbytes: int) -> float:
+        """Request timeout for a payload of ``nbytes``."""
+        return self.base_timeout_s + nbytes * self.timeout_per_byte_s
+
+    def backoff_s(self, attempt: int) -> float:
+        """Sleep before retry number ``attempt`` (1-based)."""
+        return min(
+            self.backoff_base_s * self.backoff_factor ** max(attempt - 1, 0),
+            self.backoff_max_s,
+        )
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: applied at ``at_s``, reverted at ``until_s``
+    (or never, when ``until_s`` is None)."""
+
+    kind: str
+    at_s: float
+    until_s: Optional[float] = None
+    #: Kind-specific index: data-server index for ``disk_failslow`` /
+    #: ``server_crash`` / ``mirror_fail``, unused for the network kinds,
+    #: the compute-node id for ``cache_evict`` when ``nodes`` is empty.
+    target: int = 0
+
+    # -- disk_failslow ---------------------------------------------------
+    transfer_factor: float = 4.0
+    extra_seek_s: float = 0.0
+
+    # -- mirror_fail -----------------------------------------------------
+    #: RAID-1 member index to fail.
+    member: int = 1
+    #: Rebuild pacing on repair (md's speed_limit ceiling).
+    rebuild_rate_bytes_s: float = 40e6
+    #: Cap on bytes resynced (None = whole member); models bitmap-based
+    #: resync of the dirty region on small simulated disks.
+    rebuild_bytes: Optional[int] = None
+
+    # -- net_degrade -----------------------------------------------------
+    extra_latency_s: float = 0.0
+    #: Uniform [0, jitter_s) seeded jitter added per transfer.
+    jitter_s: float = 0.0
+
+    # -- net_partition / cache_evict -------------------------------------
+    #: Node ids on the far side of the cut / cache nodes to evict.
+    nodes: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "nodes", tuple(self.nodes))
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r} (know {FAULT_KINDS})")
+        if self.at_s < 0:
+            raise ValueError("at_s must be >= 0")
+        if self.until_s is not None and self.until_s <= self.at_s:
+            raise ValueError("until_s must be > at_s")
+        if self.target < 0:
+            raise ValueError("target must be >= 0")
+        if self.kind == "disk_failslow":
+            if self.transfer_factor < 1:
+                raise ValueError("transfer_factor must be >= 1 (fail-SLOW)")
+            if self.extra_seek_s < 0:
+                raise ValueError("extra_seek_s must be >= 0")
+        elif self.kind == "mirror_fail":
+            if self.member < 0:
+                raise ValueError("member must be >= 0")
+            if self.rebuild_rate_bytes_s <= 0:
+                raise ValueError("rebuild_rate_bytes_s must be > 0")
+            if self.rebuild_bytes is not None and self.rebuild_bytes <= 0:
+                raise ValueError("rebuild_bytes must be > 0")
+        elif self.kind == "net_degrade":
+            if self.extra_latency_s < 0 or self.jitter_s < 0:
+                raise ValueError("latency/jitter must be >= 0")
+            if self.extra_latency_s == 0 and self.jitter_s == 0:
+                raise ValueError("net_degrade needs extra_latency_s or jitter_s > 0")
+        elif self.kind == "net_partition":
+            if not self.nodes:
+                raise ValueError("net_partition needs a non-empty node set")
+            if self.until_s is None:
+                raise ValueError(
+                    "net_partition requires until_s: senders block on the heal "
+                    "event, so an unhealed cut would hang the run"
+                )
+
+    @property
+    def evicted_nodes(self) -> tuple[int, ...]:
+        """Cache nodes a ``cache_evict`` event removes."""
+        return self.nodes if self.nodes else (self.target,)
+
+
+_EVENT_FIELDS = frozenset(f.name for f in fields(FaultEvent))
+_POLICY_FIELDS = frozenset(f.name for f in fields(RetryPolicy))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded schedule of fault events plus the client retry policy."""
+
+    seed: int = 0
+    events: tuple[FaultEvent, ...] = ()
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+
+    # -- JSON round-trip -------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "events": [asdict(ev) for ev in self.events],
+            "retry": asdict(self.retry),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FaultPlan":
+        events = []
+        for raw in d.get("events", ()):
+            unknown = set(raw) - _EVENT_FIELDS
+            if unknown:
+                raise ValueError(f"unknown FaultEvent fields: {sorted(unknown)}")
+            ev = dict(raw)
+            if "nodes" in ev:
+                ev["nodes"] = tuple(ev["nodes"])
+            events.append(FaultEvent(**ev))
+        raw_retry = d.get("retry", {})
+        unknown = set(raw_retry) - _POLICY_FIELDS
+        if unknown:
+            raise ValueError(f"unknown RetryPolicy fields: {sorted(unknown)}")
+        return cls(
+            seed=int(d.get("seed", 0)),
+            events=tuple(events),
+            retry=RetryPolicy(**raw_retry),
+        )
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def load(cls, path: Any) -> "FaultPlan":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))
+
+    def dump(self, path: Any) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+            fh.write("\n")

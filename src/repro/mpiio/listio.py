@@ -71,6 +71,14 @@ def batch_io(
                 )
             total_by_server[piece.server] = total_by_server.get(piece.server, 0) + piece.length
 
+    faults = client.faults
+    if faults is not None and op == "W":
+        # Ids are stamped once, before any attempt: a timed-out batch is
+        # re-sent with the same ids so the server commits each run once.
+        for s in sorted(by_server):
+            for req in by_server[s]:
+                req.req_id = faults.next_request_id()
+
     def per_server(server_idx: int, reqs: list[ServerRequest]):
         server = client.servers[server_idx]
         nbytes = total_by_server[server_idx]
@@ -91,10 +99,23 @@ def batch_io(
                 server.node_id, client.node_id, CONTROL_MSG_BYTES
             )
 
-    procs = [
-        sim.process(per_server(s, reqs), name=f"listio-s{s}")
-        for s, reqs in sorted(by_server.items())
-    ]
+    if faults is None:
+        procs = [
+            sim.process(per_server(s, reqs), name=f"listio-s{s}")
+            for s, reqs in sorted(by_server.items())
+        ]
+    else:
+        procs = [
+            sim.process(
+                client.robust_call(
+                    lambda s=s, reqs=reqs: per_server(s, reqs),
+                    s,
+                    nbytes=total_by_server[s],
+                ),
+                name=f"listio-s{s}",
+            )
+            for s, reqs in sorted(by_server.items())
+        ]
     yield all_of(sim, procs)
     total = sum(total_by_server.values())
     if op == "R":

@@ -58,6 +58,9 @@ class Network:
         self.params = params or NetworkParams()
         self.nics = [Nic(sim, i) for i in range(n_nodes)]
         self.messages_delivered = 0
+        #: Degradation state installed by the fault injector (None
+        #: nominally; see repro.faults.injector.NetFault).
+        self.fault = None
 
     def n_nodes(self) -> int:
         return len(self.nics)
@@ -79,6 +82,12 @@ class Network:
             return
         src_nic, dst_nic = self.nics[src], self.nics[dst]
         wire_time = nbytes / p.bandwidth_bytes_s
+
+        fault = self.fault
+        if fault is not None:
+            # Partition wait + injected latency/jitter, before any NIC is
+            # held so a cut never pins resources.
+            yield from fault.gate(src, dst)
 
         # Hold TX and RX simultaneously over a single wire occupation so
         # transfer time is charged once while both endpoints serialise.

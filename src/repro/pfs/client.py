@@ -5,22 +5,42 @@ owning data server, the server performs the disk I/O, and the payload
 returns.  A write moves the payload with the request.  Pieces proceed in
 parallel; the call completes when the last piece does -- exactly the
 synchronous MPI-IO semantics DualPar's vanilla baseline exhibits.
+
+Under fault injection (``client.faults`` set by the installer) every
+piece runs through :meth:`PfsClient.robust_call`: requests to servers
+the metadata server reports down park on the recovery event; live
+requests race a size-aware timeout and retry with exponential backoff,
+re-sending the same ``req_id`` so the server can commit a write exactly
+once.  Nominally ``faults`` is None and none of this code runs.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Generator
+from typing import TYPE_CHECKING, Generator, Optional
 
 from repro.pfs.dataserver import DataServer, ServerRequest
 from repro.pfs.filesystem import PfsFile
 from repro.pfs.layout import StripeLayout, StripePiece
 from repro.net.ethernet import Network
-from repro.sim import Process, Simulator, all_of
+from repro.sim import Interrupt, Process, Simulator, all_of, any_of
 
 __all__ = ["PfsClient"]
 
 #: Size of a request/acknowledge control message.
 CONTROL_MSG_BYTES = 128
+
+
+def _absorb_interrupt(gen: Generator) -> Generator:
+    """Wrap an attempt so a timeout interrupt ends it via StopIteration.
+
+    The kernel's ``any_of`` does not defuse a constituent that *fails*
+    after the combinator already fired, so an abandoned attempt must end
+    normally, never by raising out of its process.
+    """
+    try:
+        yield from gen
+    except Interrupt:
+        return
 
 
 class PfsClient:
@@ -41,12 +61,60 @@ class PfsClient:
         self.layout = layout
         self.bytes_read = 0
         self.bytes_written = 0
+        #: FaultInjector when a plan is installed, None nominally.
+        self.faults = None
+        self.n_timeouts = 0
+        self.n_retries = 0
+        self.n_failovers = 0
         self._tracer = sim.obs.tracer if sim.obs.enabled else None
+
+    # -- fault-aware retry loop ------------------------------------------
+
+    def robust_call(self, make_attempt, server_index: int, nbytes: int = 0) -> Generator:
+        """Run ``make_attempt()`` (a fresh generator per call) against one
+        server with health-gated dispatch, timeout, and backoff."""
+        faults = self.faults
+        sim = self.sim
+        policy = faults.retry
+        health = faults.health
+        timeout_s = policy.timeout_for(nbytes)
+        attempt = 0
+        while True:
+            if not health.is_up(server_index):
+                # Down per metadata: don't burn the retry budget against
+                # a black hole -- park until the server returns.
+                self.n_failovers += 1
+                yield health.recovery_event(server_index)
+            proc = sim.process(_absorb_interrupt(make_attempt()), name="pfs-attempt")
+            gate = sim.timeout(timeout_s)
+            yield any_of(sim, [proc, gate])
+            if proc.triggered:
+                return
+            proc.interrupt("request-timeout")
+            self.n_timeouts += 1
+            faults.record_timeout(server_index)
+            attempt += 1
+            if attempt > policy.max_retries:
+                from repro.faults.injector import RequestTimeout
+
+                raise RequestTimeout(
+                    f"client {self.node_id} -> ds{server_index}: request dead "
+                    f"after {attempt} attempts ({nbytes} bytes, "
+                    f"timeout {timeout_s:.3f}s)"
+                )
+            self.n_retries += 1
+            yield sim.timeout(policy.backoff_s(attempt))
 
     # ------------------------------------------------------------------
 
     def _do_piece(
-        self, f: PfsFile, piece: StripePiece, op: str, stream_id: int, trace_id: int = 0
+        self,
+        f: PfsFile,
+        piece: StripePiece,
+        op: str,
+        stream_id: int,
+        trace_id: int = 0,
+        req_id: Optional[int] = None,
     ) -> Generator:
         server = self.servers[piece.server]
         net = self.network
@@ -65,6 +133,7 @@ class PfsClient:
                 op=op,
                 stream_id=stream_id,
                 trace_id=trace_id,
+                req_id=req_id,
             )
         )
         yield done
@@ -102,12 +171,33 @@ class PfsClient:
         pieces = split(offset, length)
         tr = self._tracer
         trace_id = tr.trace_of_stream(stream_id) if tr is not None else 0
-        procs = [
-            self.sim.process(
-                self._do_piece(f, p, op, stream_id, trace_id), name="pfs-piece"
-            )
-            for p in pieces
-        ]
+        faults = self.faults
+        if faults is None:
+            procs = [
+                self.sim.process(
+                    self._do_piece(f, p, op, stream_id, trace_id), name="pfs-piece"
+                )
+                for p in pieces
+            ]
+        else:
+            # Write ids are assigned once per piece, before any attempt,
+            # so every retry re-sends the same id (exactly-once commit).
+            with_ids = [
+                (p, faults.next_request_id() if op == "W" else None) for p in pieces
+            ]
+            procs = [
+                self.sim.process(
+                    self.robust_call(
+                        lambda p=p, rid=rid: self._do_piece(
+                            f, p, op, stream_id, trace_id, req_id=rid
+                        ),
+                        p.server,
+                        nbytes=p.length,
+                    ),
+                    name="pfs-piece",
+                )
+                for p, rid in with_ids
+            ]
         if tr is not None:
             # Async span: one client node can have overlapping I/O calls.
             with tr.span(

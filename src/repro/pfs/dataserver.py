@@ -20,7 +20,7 @@ from repro.disk.drive import BlockDevice
 from repro.iosched.blocklayer import BlockLayer
 from repro.net.ethernet import Network
 from repro.pfs.filesystem import FileSystem
-from repro.sim import Event, Simulator, all_of
+from repro.sim import Event, Interrupt, Simulator, all_of
 
 __all__ = ["DataServer", "LocalityDaemon", "ServerRequest"]
 
@@ -37,6 +37,17 @@ LIST_PIECE_CPU_S = 2e-6
 MEMCPY_BYTES_S = 3e9
 
 
+def _absorb_interrupt(gen):
+    """Run a service generator, ending quietly if the server crashes
+    under it.  Ending via StopIteration (not a failure) matters: the
+    client side may hold this process inside ``any_of``/``all_of``
+    combinators, which propagate constituent *failures*."""
+    try:
+        yield from gen
+    except Interrupt:
+        return
+
+
 @dataclass
 class ServerRequest:
     """One object-range request as received from a client."""
@@ -49,6 +60,10 @@ class ServerRequest:
     #: Observability trace-context id (0 = untraced); carried through to
     #: the block requests this server request fans out into.
     trace_id: int = 0
+    #: Client-assigned id under fault injection (None nominally): a
+    #: retried write re-sends the same id, and the server's commit log
+    #: records each id at most once (exactly-once accounting).
+    req_id: Optional[int] = None
 
 
 class _DsMetrics:
@@ -109,13 +124,110 @@ class DataServer:
         self.n_io_threads = n_io_threads
         self.n_requests = 0
         self.bytes_served = 0
+        # Fault state (inert until enable_fault_tracking()).
+        self.crashed = False
+        self.n_dropped_requests = 0
+        self.n_crashes = 0
+        self.n_recoveries = 0
+        self.lost_dirty_bytes = 0
+        #: Live service processes (insertion-ordered), tracked only under
+        #: fault injection so a crash can interrupt in-flight work.
+        self._service_procs: Optional[dict] = None
+        #: Committed write req_ids in commit order, tracked only under
+        #: fault injection (the exactly-once property's observable).
+        self.commit_log: Optional[list[int]] = None
+        self._committed_ids: set[int] = set()
         self._metrics: Optional[_DsMetrics] = (
             _DsMetrics(sim.obs.registry, server_index) if sim.obs.enabled else None
         )
         self._tracer = sim.obs.tracer if sim.obs.enabled else None
+        if sim._sanitizer is not None:
+            sim._sanitizer.on_component_registered(f"ds{server_index}")
 
     def _io_context(self, client_stream: int) -> int:
         return client_stream % self.n_io_threads
+
+    # -- fault lifecycle -------------------------------------------------
+
+    def enable_fault_tracking(self) -> None:
+        """Arm crash support: track service processes and committed write
+        ids.  Called by the fault injector at install time; nominal runs
+        never pay for either."""
+        if self._service_procs is None:
+            self._service_procs = {}
+        if self.commit_log is None:
+            self.commit_log = []
+
+    def crash(self) -> None:
+        """Power-fail the server: in-flight services stop, queued client
+        requests are black-holed, and volatile state (page cache, dirty
+        write-back data) is lost."""
+        from repro.sim import SimulationError
+
+        if self.crashed:
+            raise SimulationError(f"ds{self.server_index} is already crashed")
+        self.crashed = True
+        self.n_crashes += 1
+        san = self.sim._sanitizer
+        if san is not None:
+            san.on_component_unregistered(f"ds{self.server_index}")
+        procs = self._service_procs
+        if procs is not None:
+            for proc in list(procs):
+                if proc.is_alive:
+                    proc.interrupt("server-crash")
+            procs.clear()
+        if self.writeback is not None:
+            self.lost_dirty_bytes += self.writeback.drop_all()
+        # RAM is gone: post-recovery reads go back to the platters.
+        from repro.pfs.pagecache import ServerPageCache
+
+        old = self.page_cache
+        self.page_cache = ServerPageCache()
+        self.page_cache.n_hits = old.n_hits
+        self.page_cache.n_misses = old.n_misses
+        self._inflight = {}
+
+    def recover(self) -> None:
+        """Restart after :meth:`crash`: accept requests again (cold)."""
+        from repro.sim import SimulationError
+
+        san = self.sim._sanitizer
+        if san is not None:
+            # A double recover() must not double-register the component.
+            san.on_component_registered(f"ds{self.server_index}")
+        if not self.crashed:
+            raise SimulationError(f"ds{self.server_index} is not crashed")
+        self.crashed = False
+        self.n_recoveries += 1
+
+    def _spawn(self, gen, name: str):
+        """Service-process spawn point: tracked (and interrupt-absorbing)
+        under fault injection, a plain process nominally."""
+        procs = self._service_procs
+        if procs is None:
+            return self.sim.process(gen, name=name)
+        proc = self.sim.process(_absorb_interrupt(gen), name=name)
+        procs[proc] = None
+        proc.callbacks.append(self._untrack)
+        return proc
+
+    def _untrack(self, event) -> None:
+        procs = self._service_procs
+        if procs is not None:
+            procs.pop(event, None)
+
+    def _commit(self, req: ServerRequest) -> None:
+        """Record a durably serviced write exactly once per req_id.
+
+        Runs atomically (no yields) with the ``done`` notification, so a
+        request is committed iff its client observes success.
+        """
+        log = self.commit_log
+        if log is not None and req.op == "W" and req.req_id is not None:
+            if req.req_id not in self._committed_ids:
+                self._committed_ids.add(req.req_id)
+                log.append(req.req_id)
 
     # ------------------------------------------------------------------
 
@@ -125,9 +237,15 @@ class DataServer:
 
         Network transfer of the payload is the *client's* side of the
         conversation -- see :class:`~repro.pfs.client.PfsClient`.
+
+        A crashed server black-holes the request: the event never fires
+        and the fault-aware client's timeout/retry path takes over.
         """
         done = self.sim.event()
-        self.sim.process(self._service(req, done), name=f"ds{self.server_index}-svc")
+        if self.crashed:
+            self.n_dropped_requests += 1
+            return done
+        self._spawn(self._service(req, done), name=f"ds{self.server_index}-svc")
         return done
 
     def _submit_blocks(self, req: ServerRequest, is_async: bool = False) -> list[Event]:
@@ -136,6 +254,9 @@ class DataServer:
         Does NOT honour queue congestion -- use :meth:`_submit_blocks_throttled`
         from generator contexts that may flood the elevator.
         """
+        san = self.sim._sanitizer
+        if san is not None:
+            san.on_server_dispatch(self)
         f = self.fs.lookup(req.file_name)
         lbn = f.lbn_of(self.server_index, req.object_offset)
         nsectors_total = -(-req.length // 512)
@@ -161,6 +282,9 @@ class DataServer:
         """Like :meth:`_submit_blocks`, but a server thread sleeping in
         ``get_request_wait`` when the elevator queue is congested
         (nr_requests).  Generator; returns the completion-event list."""
+        san = self.sim._sanitizer
+        if san is not None:
+            san.on_server_dispatch(self)
         f = self.fs.lookup(req.file_name)
         lbn = f.lbn_of(self.server_index, req.object_offset)
         nsectors_total = -(-req.length // 512)
@@ -169,6 +293,10 @@ class DataServer:
         pos = 0
         while pos < nsectors_total:
             yield from self.block_layer.throttle()
+            if self.crashed:
+                # The server died while this thread slept in the throttle
+                # gate (e.g. the writeback flusher): abandon the rest.
+                return completions
             take = min(max_sectors, nsectors_total - pos)
             completions.append(
                 self.block_layer.submit(
@@ -237,7 +365,7 @@ class DataServer:
                         stream_id=req.stream_id,
                         trace_id=req.trace_id,
                     )
-                    sim.process(
+                    self._spawn(
                         self._disk_read_tracked(ra_req, ra_start, ra_end, is_async=True),
                         name=f"ds{self.server_index}-ra",
                     )
@@ -265,7 +393,7 @@ class DataServer:
                 stream_id=req.stream_id,
                 trace_id=req.trace_id,
             )
-            sim.process(
+            self._spawn(
                 self._disk_read_tracked(ra_req, end, read_end, is_async=True),
                 name=f"ds{self.server_index}-ra",
             )
@@ -289,7 +417,11 @@ class DataServer:
             )
             yield all_of(sim, completions)
         finally:
-            self._inflight[req.file_name].remove(entry)
+            # A crash interrupt can unwind this frame after crash() has
+            # replaced the inflight map; only remove what is still there.
+            entries = self._inflight.get(req.file_name)
+            if entries is not None and entry in entries:
+                entries.remove(entry)
             inflight_ev.succeed()
 
     def _service(self, req: ServerRequest, done: Event):
@@ -312,6 +444,7 @@ class DataServer:
         else:
             yield sim.timeout(REQUEST_CPU_S)
             yield from self._perform_io(req)
+        self._commit(req)
         self.n_requests += 1
         self.bytes_served += req.length
         m = self._metrics
@@ -330,7 +463,10 @@ class DataServer:
         aggregators rely on for deep, sortable queues.
         """
         done = self.sim.event()
-        self.sim.process(self._service_list(reqs, done), name=f"ds{self.server_index}-list")
+        if self.crashed:
+            self.n_dropped_requests += len(reqs)
+            return done
+        self._spawn(self._service_list(reqs, done), name=f"ds{self.server_index}-list")
         return done
 
     def _service_list(self, reqs: list[ServerRequest], done: Event):
@@ -346,18 +482,11 @@ class DataServer:
                 pieces=len(reqs),
                 bytes=sum(r.length for r in reqs),
             ):
-                yield from self._service_list_body(reqs, done)
+                yield from self._service_list_body(reqs)
         else:
-            yield from self._service_list_body(reqs, done)
-
-    def _service_list_body(self, reqs: list[ServerRequest], done: Event):
-        sim = self.sim
-        yield sim.timeout(REQUEST_CPU_S + LIST_PIECE_CPU_S * len(reqs))
-        pieces = [
-            sim.process(self._perform_io(req), name=f"ds{self.server_index}-piece")
-            for req in reqs
-        ]
-        yield all_of(sim, pieces)
+            yield from self._service_list_body(reqs)
+        for r in reqs:
+            self._commit(r)
         self.n_requests += len(reqs)
         total = sum(r.length for r in reqs)
         self.bytes_served += total
@@ -367,6 +496,15 @@ class DataServer:
             for r in reqs:
                 (m.bytes_read if r.op == "R" else m.bytes_written).inc(r.length)
         done.succeed(sim.now)
+
+    def _service_list_body(self, reqs: list[ServerRequest]):
+        sim = self.sim
+        yield sim.timeout(REQUEST_CPU_S + LIST_PIECE_CPU_S * len(reqs))
+        pieces = [
+            self._spawn(self._perform_io(req), name=f"ds{self.server_index}-piece")
+            for req in reqs
+        ]
+        yield all_of(sim, pieces)
 
 
 class LocalityDaemon:

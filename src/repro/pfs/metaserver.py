@@ -33,6 +33,10 @@ class MetadataServer:
         self.network = network
         self.fs = fs
         self.n_ops = 0
+        #: Data-server health map, installed by the fault injector (None
+        #: nominally).  Clients learn server liveness through metadata,
+        #: exactly as they learn the server list.
+        self.health = None
 
     def rpc_create(self, client_node: int, name: str, size: int) -> Generator:
         """Create a file; yields until the RPC round-trip completes."""

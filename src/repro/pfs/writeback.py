@@ -85,6 +85,14 @@ class WritebackBuffer:
     def over_limit(self) -> bool:
         return self.dirty_bytes >= self.max_dirty_bytes
 
+    def drop_all(self) -> int:
+        """Discard every dirty range (server crash: RAM contents are
+        gone).  Returns the number of bytes lost."""
+        lost = self.dirty_bytes
+        self._dirty = {}
+        self.dirty_bytes = 0
+        return lost
+
     def covers(self, file_name: str, offset: int, length: int) -> bool:
         """Is [offset, offset+length) fully dirty (servable from RAM)?"""
         if length <= 0:
@@ -122,6 +130,10 @@ class WritebackBuffer:
         completions = []
         for file_name in sorted(batch):
             for s, e in batch[file_name]:
+                if self.server.crashed:
+                    # The server died mid-flush: the rest of the batch is
+                    # lost with the RAM it lived in.
+                    return
                 req = ServerRequest(
                     file_name=file_name,
                     object_offset=s,

@@ -70,6 +70,8 @@ class ExperimentResult:
     #: end-of-run registry snapshot stamped with final sim time.
     observe: Any = None
     metrics: Optional[dict] = None
+    #: The fault injector driving the run (None for nominal runs).
+    faults: Any = None
 
     @property
     def system_throughput_mb_s(self) -> float:
@@ -109,6 +111,7 @@ def run_experiment(
     timeline_window_s: Optional[float] = None,
     limit_s: float = 1e6,
     observe=None,
+    fault_plan=None,
 ) -> ExperimentResult:
     """Run ``specs`` on one fresh cluster; return all measurements.
 
@@ -118,7 +121,9 @@ def run_experiment(
     system-throughput series (Fig 7(a)).  ``observe`` is an optional
     :class:`repro.obs.Observability` layer; every component of the run
     publishes its instruments there, and the final registry snapshot is
-    returned as ``result.metrics``.
+    returned as ``result.metrics``.  ``fault_plan`` is an optional
+    :class:`repro.faults.FaultPlan`; when given, a deterministic
+    :class:`repro.faults.FaultInjector` replays it against the cluster.
     """
     if not specs:
         raise ValueError("need at least one job spec")
@@ -129,6 +134,13 @@ def run_experiment(
     dualpar: Optional[DualParSystem] = None
     if any(s.strategy.startswith("dualpar") for s in specs):
         dualpar = DualParSystem(runtime, dualpar_config)
+
+    faults = None
+    if fault_plan is not None:
+        from repro.faults import FaultInjector
+
+        faults = FaultInjector(cluster, fault_plan, runtime=runtime, dualpar=dualpar)
+        faults.install()
 
     jobs: list[MpiJob] = []
     for spec in specs:
@@ -193,4 +205,5 @@ def run_experiment(
             if observe is not None and observe.enabled
             else None
         ),
+        faults=faults,
     )

@@ -36,6 +36,7 @@ from typing import Any, Optional
 
 from repro.cluster import ClusterSpec
 from repro.core.config import DualParConfig
+from repro.faults import FaultPlan
 from repro.runner.experiment import (
     ExperimentResult,
     JobResult,
@@ -66,6 +67,8 @@ class ExperimentSpec:
     #: Attach an observability layer to the cell's simulator and carry the
     #: end-of-run metrics snapshot back in the slim result.
     observe: bool = False
+    #: Deterministic fault schedule replayed against the cell (or None).
+    fault_plan: Optional[FaultPlan] = None
     #: Free-form display label; not part of the cache fingerprint.
     label: str = ""
 
@@ -93,6 +96,8 @@ class SlimExperimentResult:
     timeline: Optional[Any] = None
     #: End-of-run metrics snapshot, when the cell ran with observe=True.
     metrics: Optional[dict] = None
+    #: (time, kind, phase, target) fault events, when a plan was injected.
+    fault_log: list = field(default_factory=list)
 
     @property
     def system_throughput_mb_s(self) -> float:
@@ -118,6 +123,7 @@ class SlimExperimentResult:
             dualpar_transitions=list(res.dualpar.transitions) if res.dualpar else [],
             timeline=res.timeline,
             metrics=res.metrics,
+            fault_log=list(res.faults.log) if res.faults is not None else [],
         )
 
 
@@ -192,6 +198,7 @@ def experiment_fingerprint(spec: ExperimentSpec) -> str:
             # Observed cells carry a metrics snapshot a plain cached cell
             # would lack, so the flag must key the cache.
             spec.observe,
+            spec.fault_plan,
         )
     )
     h = hashlib.sha256()
@@ -264,6 +271,7 @@ def _run_spec(spec: ExperimentSpec) -> SlimExperimentResult:
         timeline_window_s=spec.timeline_window_s,
         limit_s=spec.limit_s,
         observe=observe,
+        fault_plan=spec.fault_plan,
     )
     return SlimExperimentResult.from_full(res)
 

@@ -256,3 +256,96 @@ def test_tie_counting():
     sim.process(b())
     drain(sim)
     assert sim.sanitizer.summary()["n_ties"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# fault-injection lifecycle checks
+# ---------------------------------------------------------------------------
+
+
+def test_component_double_register_raises():
+    sim = Simulator(sanitize=True)
+    san = sim.sanitizer
+    san.on_component_registered("ds0")
+    with pytest.raises(SanitizerError, match="registered twice"):
+        san.on_component_registered("ds0")
+
+
+def test_component_unregister_unknown_raises():
+    sim = Simulator(sanitize=True)
+    with pytest.raises(SanitizerError, match="not registered"):
+        sim.sanitizer.on_component_unregistered("ds9")
+
+
+def test_component_lifecycle_round_trip():
+    sim = Simulator(sanitize=True)
+    san = sim.sanitizer
+    san.on_component_registered("ds0")
+    san.on_component_unregistered("ds0")
+    san.on_component_registered("ds0")  # legitimate recovery
+    assert san.summary()["registered_components"] == 1
+
+
+def test_crashed_server_dispatch_raises():
+    class FakeServer:
+        crashed = True
+        server_index = 3
+
+    sim = Simulator(sanitize=True)
+    with pytest.raises(SanitizerError, match="crashed data server ds3"):
+        sim.sanitizer.on_server_dispatch(FakeServer())
+
+
+def test_live_server_dispatch_is_clean():
+    class FakeServer:
+        crashed = False
+        server_index = 0
+
+    sim = Simulator(sanitize=True)
+    sim.sanitizer.on_server_dispatch(FakeServer())  # no raise
+
+
+def test_sanitized_dataserver_recover_without_crash_raises(monkeypatch):
+    from repro.cluster import ClusterSpec, build_cluster
+    from repro.disk.drive import DiskParams
+
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    cluster = build_cluster(
+        ClusterSpec(
+            n_compute_nodes=2,
+            n_data_servers=2,
+            disk=DiskParams(capacity_bytes=10**9),
+        )
+    )
+    ds = cluster.data_servers[0]
+    ds.enable_fault_tracking()
+    with pytest.raises(SanitizerError, match="registered twice"):
+        ds.recover()
+
+
+def test_sanitized_faulted_run_is_clean(monkeypatch):
+    """A crash/recover schedule under the sanitizer raises nothing: the
+    interrupted server processes are absorbed and the crashed server never
+    dispatches block work."""
+    from repro.faults import FaultEvent, FaultPlan
+
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    res = run_experiment(
+        [
+            JobSpec(
+                "job",
+                4,
+                MpiIoTest(file_size=8 * 1024 * 1024, op="R"),
+                strategy="dualpar-forced",
+            )
+        ],
+        cluster_spec=paper_spec(n_compute_nodes=2, n_data_servers=3),
+        limit_s=1e4,
+        fault_plan=FaultPlan(
+            seed=2,
+            events=(
+                FaultEvent(kind="server_crash", at_s=0.02, until_s=0.3, target=1),
+            ),
+        ),
+    )
+    assert res.makespan_s < 1e4

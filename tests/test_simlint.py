@@ -12,6 +12,7 @@ from repro.cli import main as cli_main
 from repro.devtools.simlint import (
     RULES,
     Finding,
+    lint_file,
     lint_paths,
     lint_source,
     render_json,
@@ -295,3 +296,30 @@ def test_full_tree_is_clean():
     src = Path(__file__).resolve().parent.parent / "src"
     findings = lint_paths([src])
     assert findings == [], render_text(findings)
+
+
+class TestPathFiltering:
+    """lint must never choke on binary files or linted-by-accident caches."""
+
+    def test_binary_py_file_is_skipped(self, tmp_path):
+        bogus = tmp_path / "compiled.py"
+        bogus.write_bytes(b"\x00\x01\xfe\xff not utf-8 \x80")
+        assert lint_file(bogus) == []
+        assert lint_paths([bogus]) == []
+
+    def test_explicit_pycache_argument_is_filtered(self, tmp_path):
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        stale = cache / "mod.cpython-312.py"
+        stale.write_text("def f(x=[]):\n    pass\n")
+        hidden = tmp_path / ".hidden.py"
+        hidden.write_text("def g(y={}):\n    pass\n")
+        # Explicit file args go through the same hidden/__pycache__ filter
+        # as directory walks.
+        assert lint_paths([stale, hidden]) == []
+        assert lint_paths([tmp_path]) == []
+
+    def test_faults_package_is_sim_scoped(self):
+        from repro.devtools.simlint import SIM_PACKAGES
+
+        assert "faults" in SIM_PACKAGES
