@@ -1,7 +1,7 @@
 PYTHON ?= python
 NPROC ?= $(shell nproc 2>/dev/null || echo 1)
 
-.PHONY: install test test-fast coverage lint sanitize chaos bench bench-fast bench-kernel bench-gate examples results clean
+.PHONY: install test test-fast coverage lint sanitize chaos soak bench bench-fast bench-kernel bench-gate examples results clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -46,6 +46,12 @@ chaos:
 	PYTHONPATH=src $(PYTHON) -m pytest -q --hypothesis-seed=0 \
 		tests/test_faults.py tests/test_chaos_scenarios.py tests/test_sanitizer.py
 
+# Long randomized-chaos soak at a pinned seed: guard + watchdog +
+# sanitizer armed; fails on watchdog deadlock or sanitizer finding.
+soak:
+	PYTHONPATH=src $(PYTHON) benchmarks/soak.py --seed 0 --cells 12 \
+		--budget-s 240 --out-dir soak-out
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
@@ -71,5 +77,5 @@ examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f; done
 
 clean:
-	rm -rf .pytest_cache .benchmarks .bench_cache src/repro.egg-info
+	rm -rf .pytest_cache .benchmarks .bench_cache soak-out src/repro.egg-info
 	find . -name __pycache__ -type d -exec rm -rf {} +

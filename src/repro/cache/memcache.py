@@ -76,6 +76,11 @@ class GlobalCache:
         self._failed_nodes: set[int] = set()
         self.n_node_failures = 0
         self._chunks: dict[ChunkKey, CachedChunk] = {}
+        #: Guard memory budget (repro.guard.MemoryBudget) when a safety
+        #: governor is attached; None nominally.  Every resident chunk is
+        #: charged against its job and owner node; prefetched chunks that
+        #: would breach a cap are shed at the insert point.
+        self.budget = None
         self.n_gets = 0
         self.n_hits = 0
         self.n_puts = 0
@@ -114,7 +119,7 @@ class GlobalCache:
             k for k, c in self._chunks.items() if c.owner_node == node and not c.dirty
         ]
         for k in victims:
-            del self._chunks[k]
+            self._drop(k)
         self.n_evictions += len(victims)
         if self._metrics is not None:
             self._metrics.evictions.inc(len(victims))
@@ -122,6 +127,8 @@ class GlobalCache:
         for c in self._chunks.values():
             if c.owner_node == node:
                 c.owner_node = self.owner_of(c.key)
+                if self.budget is not None:
+                    self.budget.transfer_node(self.chunk_bytes, node, c.owner_node)
                 migrated += 1
         return len(victims), migrated
 
@@ -139,7 +146,7 @@ class GlobalCache:
         c = self._chunks.get(key)
         if c is not None and self.sim.now - c.last_used > self.ttl_s:
             # Lazy TTL expiry.
-            del self._chunks[key]
+            self._drop(key)
             self.n_evictions += 1
             if self._metrics is not None:
                 self._metrics.evictions.inc()
@@ -292,6 +299,15 @@ class GlobalCache:
         for key, dirty_range in puts:
             self._store(key, cycle_id, job_id, dirty_range)
 
+    def _drop(self, key: ChunkKey) -> Optional[CachedChunk]:
+        """Remove a chunk, releasing its budget charge; None if absent."""
+        chunk = self._chunks.pop(key, None)
+        if chunk is not None and self.budget is not None:
+            self.budget.release(
+                self.chunk_bytes, job_id=chunk.job_id, node=chunk.owner_node
+            )
+        return chunk
+
     def _store(
         self,
         key: ChunkKey,
@@ -301,6 +317,19 @@ class GlobalCache:
     ) -> None:
         chunk = self._chunks.get(key)
         if chunk is None:
+            if self.budget is not None:
+                owner = self.owner_of(key)
+                if dirty_range is None:
+                    # Speculative prefetch: shed at the cap rather than
+                    # growing without bound.
+                    if not self.budget.try_charge(
+                        self.chunk_bytes, job_id=job_id, node=owner
+                    ):
+                        return
+                else:
+                    # Dirty data is never refused -- dropping it would
+                    # silently lose committed application writes.
+                    self.budget.charge(self.chunk_bytes, job_id=job_id, node=owner)
             chunk = CachedChunk(
                 key=key,
                 owner_node=self.owner_of(key),
@@ -313,6 +342,14 @@ class GlobalCache:
         chunk.last_used = self.sim.now
         chunk.cycle_id = cycle_id
         if job_id is not None:
+            if (
+                self.budget is not None
+                and chunk.job_id is not None
+                and chunk.job_id != job_id
+            ):
+                # Ownership handover: move the charge between job ledgers.
+                self.budget.release(self.chunk_bytes, job_id=chunk.job_id)
+                self.budget.charge(self.chunk_bytes, job_id=job_id)
             chunk.job_id = job_id
         if dirty_range is not None:
             chunk.dirty = True
@@ -355,8 +392,7 @@ class GlobalCache:
             c.dirty_ranges = []
 
     def evict(self, key: ChunkKey) -> None:
-        if key in self._chunks:
-            del self._chunks[key]
+        if self._drop(key) is not None:
             self.n_evictions += 1
             if self._metrics is not None:
                 self._metrics.evictions.inc()
@@ -380,7 +416,7 @@ class GlobalCache:
             if c.job_id == job_id and c.cycle_id == cycle_id and not c.used and not c.dirty
         ]
         for k in victims:
-            del self._chunks[k]
+            self._drop(k)
         self.n_evictions += len(victims)
         if self._metrics is not None:
             self._metrics.evictions.inc(len(victims))
@@ -389,7 +425,7 @@ class GlobalCache:
     def purge_job(self, job_id: int) -> int:
         victims = [k for k, c in self._chunks.items() if c.job_id == job_id]
         for k in victims:
-            del self._chunks[k]
+            self._drop(k)
         return len(victims)
 
     @property

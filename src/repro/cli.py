@@ -18,7 +18,9 @@ every simulator the command creates (including parallel workers), and
 ``--metrics``/``--trace-out`` to attach the observability layer and dump
 a metrics snapshot / Chrome-trace JSON (see docs/observability.md).
 ``--faults plan.json`` replays a deterministic fault schedule against the
-simulated cluster (see docs/fault_injection.md).
+simulated cluster (see docs/fault_injection.md), and ``--guard`` attaches
+the safety governor -- memory budgets, benefit governor, circuit breaker,
+and stall watchdog (see docs/degradation.md).
 """
 
 from __future__ import annotations
@@ -161,6 +163,38 @@ def _faults_from_args(args):
     return FaultPlan.load(path)
 
 
+def _guard_from_args(args):
+    """A default :class:`~repro.guard.GuardConfig` when ``--guard`` was
+    given, else None (guard-off runs stay bit-identical)."""
+    if not getattr(args, "guard", False):
+        return None
+    from repro.guard import GuardConfig
+
+    return GuardConfig()
+
+
+def _print_guard_summary(result) -> None:
+    guard = getattr(result, "guard", None)
+    if guard is None:
+        return
+    summary = guard.summary()
+    states = ", ".join(f"{job}={st}" for job, st in sorted(summary["states"].items()))
+    print(f"\nguard: job states [{states or 'none'}]")
+    for t, job, state, reason in guard.transitions:
+        print(f"  t={t:10.3f}s  {job:<12}-> {state:<11}({reason})")
+    b = summary["budget"]
+    print(
+        f"  budget: peak {b['peak_bytes'] / 1e6:.1f} MB, "
+        f"shed {b['n_shed_store']} stores / {b['n_shed_plan']} planned chunks, "
+        f"blocked {b['n_blocked']}, paced {b['n_paced']}"
+    )
+    br = summary["breaker"]
+    print(f"  breaker: {br['state']} ({br['n_trips']} trips)")
+    wd = summary.get("watchdog")
+    if wd is not None and wd["n_reports"]:
+        print(f"  watchdog: {wd['n_reports']} reports ({wd['n_deadlocks']} deadlocks)")
+
+
 def _print_fault_summary(result) -> None:
     faults = getattr(result, "faults", None)
     if faults is None or not faults.log:
@@ -229,6 +263,7 @@ def cmd_run(args) -> int:
         dualpar_config=_dualpar_from_args(args),
         observe=_observe_from_args(args),
         fault_plan=_faults_from_args(args),
+        guard=_guard_from_args(args),
     )
     print(
         format_table(
@@ -254,6 +289,7 @@ def cmd_run(args) -> int:
         f"{blk.mean_unit_sectors * 512 / 1024:.0f} KB"
     )
     _print_fault_summary(result)
+    _print_guard_summary(result)
     _export_obs(args, result)
     return 0
 
@@ -274,6 +310,7 @@ def cmd_compare(args) -> int:
             dualpar_config=_dualpar_from_args(args),
             observe=bool(args.metrics),
             fault_plan=_faults_from_args(args),
+            guard=_guard_from_args(args),
             label=strategy,
         )
         for strategy in args.strategies
@@ -323,9 +360,11 @@ def cmd_report(args) -> int:
         dualpar_config=_dualpar_from_args(args),
         observe=_observe_from_args(args),
         fault_plan=_faults_from_args(args),
+        guard=_guard_from_args(args),
     )
     print(summarize(result))
     _print_fault_summary(result)
+    _print_guard_summary(result)
     _export_obs(args, result)
     return 0
 
@@ -416,6 +455,12 @@ def _add_common(p: argparse.ArgumentParser) -> None:
         default=None,
         help="inject the fault plan JSON deterministically (docs/fault_injection.md)",
     )
+    p.add_argument(
+        "--guard",
+        action="store_true",
+        help="attach the safety governor: budgets, benefit governor, "
+        "circuit breaker, stall watchdog (docs/degradation.md)",
+    )
 
 
 def make_parser() -> argparse.ArgumentParser:
@@ -458,7 +503,7 @@ def make_parser() -> argparse.ArgumentParser:
     p_cmp.set_defaults(func=cmd_compare)
 
     p_lint = sub.add_parser(
-        "lint", help="run the simlint determinism rules (SL001-SL005)"
+        "lint", help="run the simlint determinism rules (SL001-SL006)"
     )
     p_lint.add_argument(
         "paths", nargs="*", default=["src"], help="files/directories (default: src)"

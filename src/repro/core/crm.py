@@ -158,6 +158,19 @@ class Crm:
                                 self.n_deferred_prefetch_chunks += 1
                                 continue
                         bucket.add(idx)
+        guard = self.engine.system.guard
+        if guard is not None:
+            # Budget backpressure: cap the plan at the job's remaining
+            # headroom, shedding the highest chunk indices (the furthest-
+            # ahead, lowest-priority predictions) file by file.
+            allow = guard.budget.job_headroom(self.engine.job.job_id) // cb
+            for file_name in list(wanted):
+                indices = sorted(wanted[file_name])
+                if len(indices) > allow:
+                    guard.budget.record_shed_plan(len(indices) - allow)
+                    indices = indices[:allow]
+                    wanted[file_name] = set(indices)
+                allow -= len(indices)
         out: dict[int, dict[str, list[int]]] = {}
         for file_name, idx_set in wanted.items():
             indices = sorted(idx_set)

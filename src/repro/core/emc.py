@@ -114,6 +114,7 @@ class EmcDaemon:
         while True:
             yield sim.timeout(cfg.emc_interval_s)
             imp = self.improvement()
+            guard = self.system.guard
             ratios = {}
             for engine in list(self.system.engines.values()):
                 job = engine.job
@@ -122,6 +123,12 @@ class EmcDaemon:
                 ratio = engine_sampler = self.system.sampler_of(engine).sample()
                 if ratio is not None:
                     ratios[job.name] = ratio
+                if guard is not None:
+                    # The safety governor's hysteresis state machine takes
+                    # over the whole decision -- including for engines with
+                    # force_mode, which the guard may temporarily overrule.
+                    guard.governor_for(engine).evaluate(ratio, imp)
+                    continue
                 if engine.config.force_mode is not None:
                     continue
                 if engine.locked_out:
@@ -158,6 +165,11 @@ class EmcDaemon:
 
     def report_misprefetch(self, engine: "DualParEngine", ratio: float) -> None:
         """Called by PEC with each cycle's mis-prefetch ratio."""
+        guard = self.system.guard
+        if guard is not None:
+            # Escalating-cooldown degrade instead of the permanent lockout.
+            guard.governor_for(engine).report_misprefetch(ratio)
+            return
         if ratio > self.config.misprefetch_threshold:
             if self.config.misprefetch_lockout:
                 engine.locked_out = True

@@ -117,8 +117,15 @@ class DualParEngine(IoEngine):
         self.system.record_request(proc, op)
         # A zero quota means no cache space at all: the data-driven mode
         # is "essentially disabled" (Fig 8's 0 KB point) regardless of
-        # what EMC or force_mode says.
-        if self.job.mode != "datadriven" or self.config.quota_bytes == 0:
+        # what EMC or force_mode says.  An open guard circuit breaker
+        # likewise bypasses the cache (degraded mode) until a half-open
+        # probe closes it again.
+        guard = self.system.guard
+        if (
+            self.job.mode != "datadriven"
+            or self.config.quota_bytes == 0
+            or (guard is not None and not guard.cache_allowed())
+        ):
             yield from self.normal.do_io(proc, op)
             return
         if op.op == "R":
@@ -144,7 +151,12 @@ class DualParEngine(IoEngine):
                 key = ChunkKey(file_name, idx)
                 wants.append((key, c_hi - c_lo))
                 spans.append((key, c_lo, c_hi))
+        guard = self.system.guard
+        started_at = self.sim.now
         hits = yield from self.cache.multiget(wants, proc.node_id)
+        if guard is not None:
+            # The breaker scores every batched multi-get by its latency.
+            guard.record_cache_op(self.sim.now - started_at)
         missing: list[tuple[int, int]] = []
         for key, c_lo, c_hi in spans:
             if hits.get(key):

@@ -199,6 +199,14 @@ class Pec:
         budget = max(
             cfg.quota_bytes - self.engine.quota_of(proc.rank).dirty_bytes, 0
         )
+        guard = self.engine.system.guard
+        if guard is not None:
+            # Guard backpressure: a job at its memory cap stops recording
+            # almost immediately instead of planning unprefetchable data.
+            headroom = guard.budget.job_headroom(self.job.job_id)
+            if headroom < budget:
+                budget = headroom
+                guard.budget.record_blocked()
         planned = 0
         try:
             for op in proc.stream.peek():

@@ -53,6 +53,10 @@ class DualParSystem:
         #: the ServerHealth map it maintains.
         self.faults = None
         self.health = None
+        #: Safety governor (repro.guard.SafetyGovernor) when one is
+        #: attached; None nominally.  When set, EMC delegates per-job mode
+        #: decisions (and mis-prefetch reports) to its state machines.
+        self.guard = None
         self.emc = EmcDaemon(self, self.config)
 
     # -- fault fan-out ---------------------------------------------------

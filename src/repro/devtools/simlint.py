@@ -24,6 +24,12 @@ seed:
 - **SL005** ``yield`` of an obviously-non-Event value (constant, tuple,
   list, bare ``yield``) inside a generator that otherwise yields
   simulation events -- the kernel only accepts :class:`Event` yields.
+- **SL006** unbounded queue growth in simulation packages: a ``deque()``
+  constructed without ``maxlen``, or an empty-list assignment to a
+  queue-named attribute (``*queue*``/``*waiter*``/``*backlog*``).
+  Simulated workloads can enqueue without bound; every queue needs a
+  ``maxlen``, a charge against a :class:`repro.guard.MemoryBudget`, or
+  an ignore comment documenting why its growth is bounded.
 
 Suppress a finding by appending ``# simlint: ignore[SL001]`` (or a
 comma-separated list, or bare ``# simlint: ignore`` for all rules) to
@@ -69,11 +75,12 @@ RULES: dict[str, str] = {
     "SL003": "module-level random.*/numpy.random.* call instead of an owned seeded RNG",
     "SL004": "mutable default argument",
     "SL005": "yield of a non-Event value inside a simulation process generator",
+    "SL006": "unbounded deque()/list queue in sim code without a documented budget",
 }
 
-#: Subpackages of ``repro`` where SL001 applies (event-schedule-feeding code).
+#: Subpackages of ``repro`` where SL001/SL006 apply (simulation code).
 SIM_PACKAGES = frozenset(
-    {"sim", "disk", "iosched", "pfs", "cache", "mpiio", "core", "obs", "faults"}
+    {"sim", "disk", "iosched", "pfs", "cache", "mpiio", "core", "obs", "faults", "guard"}
 )
 #: Path segments exempt from SL002 (the wall-clock measurement harness).
 WALLCLOCK_EXEMPT_PARTS = frozenset({"benchmarks", "runner"})
@@ -130,6 +137,9 @@ _EVENTISH_CALLS = frozenset(
 _MUTABLE_FACTORY_NAMES = frozenset(
     {"list", "dict", "set", "deque", "defaultdict", "Counter", "OrderedDict", "bytearray"}
 )
+
+#: Attribute names SL006 treats as queues when assigned a fresh list.
+_QUEUEISH_RE = re.compile(r"queue|waiter|backlog", re.IGNORECASE)
 
 _IGNORE_RE = re.compile(
     r"#\s*simlint:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?"
@@ -461,6 +471,7 @@ class _LintVisitor(ast.NodeVisitor):
         for target in node.targets:
             if isinstance(target, ast.Name):
                 self._scopes[-1][target.id] = is_set
+            self._check_list_queue(target, node.value)
         self.generic_visit(node)
 
     def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
@@ -469,6 +480,8 @@ class _LintVisitor(ast.NodeVisitor):
                 node.value is not None and self._is_set_expr(node.value)
             )
             self._scopes[-1][node.target.id] = is_set
+        if node.value is not None:
+            self._check_list_queue(node.target, node.value)
         self.generic_visit(node)
 
     def visit_AugAssign(self, node: ast.AugAssign) -> None:
@@ -526,9 +539,57 @@ class _LintVisitor(ast.NodeVisitor):
     def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
         self._visit_comprehension(node)
 
+    # -- SL006: unbounded queues ----------------------------------------
+
+    def _check_list_queue(self, target: ast.expr, value: ast.expr) -> None:
+        """Flag ``self.xxx_queue = []`` style assignments in sim scope."""
+        if not self.sim_scope:
+            return
+        if not isinstance(target, ast.Attribute):
+            return
+        if not _QUEUEISH_RE.search(target.attr):
+            return
+        fresh_list = (isinstance(value, ast.List) and not value.elts) or (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id == "list"
+            and not value.args
+        )
+        if fresh_list:
+            self._add(
+                "SL006",
+                value,
+                f"queue-named attribute .{target.attr} built as an unbounded "
+                "list; bound it, charge a MemoryBudget, or document the bound "
+                "with an ignore comment",
+            )
+
+    def _check_deque(self, node: ast.Call) -> None:
+        if not self.sim_scope:
+            return
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else ""
+        )
+        if name != "deque":
+            return
+        # deque(iterable, maxlen) -- bounded when maxlen is passed either way.
+        if len(node.args) >= 2:
+            return
+        if any(kw.arg == "maxlen" for kw in node.keywords):
+            return
+        self._add(
+            "SL006",
+            node,
+            "deque() without maxlen grows without bound under simulated load; "
+            "pass maxlen, charge a MemoryBudget, or document the bound with "
+            "an ignore comment",
+        )
+
     # -- SL002 + SL003: call sites --------------------------------------
 
     def visit_Call(self, node: ast.Call) -> None:
+        self._check_deque(node)
         func = node.func
         # SL002 -- wall-clock reads.
         if not self.wallclock_exempt:
@@ -722,7 +783,7 @@ def render_json(findings: Sequence[Finding]) -> str:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="simlint",
-        description="determinism lint for simulation code (rules SL001-SL005)",
+        description="determinism lint for simulation code (rules SL001-SL006)",
     )
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")

@@ -273,6 +273,12 @@ class FaultInjector:
             self._net_partition(ev, apply)
         elif ev.kind == "cache_evict":
             self._cache_evict(ev, apply)
+        # The safety governor (when attached) reacts after the component
+        # state has flipped: crashes/partitions degrade active jobs,
+        # cache evictions score against the circuit breaker.
+        guard = getattr(self.dualpar, "guard", None) if self.dualpar is not None else None
+        if guard is not None:
+            guard.on_fault(ev.kind, phase, ev.target)
 
     # -- per-kind transitions ---------------------------------------------
 

@@ -83,6 +83,11 @@ class RetryPolicy:
     backoff_factor: float = 2.0
     #: Backoff ceiling so recovery is noticed promptly.
     backoff_max_s: float = 2.0
+    #: ``"none"`` (default: deterministic exponential backoff, replay-
+    #: compatible with pre-jitter plans) or ``"full"`` (AWS-style full
+    #: jitter: sleep ~ U[0, capped exponential), drawn from the plan RNG,
+    #: so synchronized retries don't stampede a recovering server).
+    backoff_jitter: str = "none"
 
     def __post_init__(self) -> None:
         if self.base_timeout_s <= 0:
@@ -95,17 +100,28 @@ class RetryPolicy:
             raise ValueError("backoff times must be >= 0")
         if self.backoff_factor < 1:
             raise ValueError("backoff_factor must be >= 1")
+        if self.backoff_jitter not in ("none", "full"):
+            raise ValueError(f"bad backoff_jitter {self.backoff_jitter!r}")
 
     def timeout_for(self, nbytes: int) -> float:
         """Request timeout for a payload of ``nbytes``."""
         return self.base_timeout_s + nbytes * self.timeout_per_byte_s
 
-    def backoff_s(self, attempt: int) -> float:
-        """Sleep before retry number ``attempt`` (1-based)."""
-        return min(
+    def backoff_s(self, attempt: int, rng=None) -> float:
+        """Sleep before retry number ``attempt`` (1-based).
+
+        With ``backoff_jitter="full"`` and an ``rng`` (the injector's
+        plan-seeded ``random.Random``), the sleep is uniform in [0, the
+        capped exponential).  The RNG is only consumed in that mode, so
+        unjittered policies replay identically with or without it.
+        """
+        ceiling = min(
             self.backoff_base_s * self.backoff_factor ** max(attempt - 1, 0),
             self.backoff_max_s,
         )
+        if self.backoff_jitter == "full" and rng is not None:
+            return rng.random() * ceiling
+        return ceiling
 
 
 @dataclass(frozen=True)

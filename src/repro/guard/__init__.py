@@ -1,0 +1,25 @@
+"""repro.guard: the safety governor.
+
+Resource budgets with backpressure, a benefit-tracking hysteresis
+governor with a memcache circuit breaker, and a kernel-level stall
+watchdog -- the runtime that keeps DualPar *never worse than vanilla*
+when predictions go wrong or the cluster degrades.  See
+``docs/degradation.md``.
+"""
+
+from repro.guard.breaker import CircuitBreaker
+from repro.guard.budget import MemoryBudget
+from repro.guard.config import GuardConfig
+from repro.guard.governor import JobGovernor, SafetyGovernor
+from repro.guard.watchdog import BlockedProcess, StallWatchdog, WatchdogReport
+
+__all__ = [
+    "BlockedProcess",
+    "CircuitBreaker",
+    "GuardConfig",
+    "JobGovernor",
+    "MemoryBudget",
+    "SafetyGovernor",
+    "StallWatchdog",
+    "WatchdogReport",
+]

@@ -1,0 +1,83 @@
+"""Safety-governor configuration: one frozen knob set for all four parts.
+
+Defaults are deliberately conservative: the nominal experiments in
+``benchmarks/`` fit comfortably inside the memory caps and never trip the
+breaker, so turning the guard on changes nothing unless something is
+actually going wrong (see ``docs/degradation.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GuardConfig"]
+
+
+@dataclass(frozen=True)
+class GuardConfig:
+    """Every threshold of the safety governor, one knob each."""
+
+    # -- resource budgets (MemoryBudget) --------------------------------
+    #: Hard cap on bytes one job may hold in prefetch/cache residency.
+    job_cap_bytes: int = 256 * 1024 * 1024
+    #: Hard cap on bytes accounted against one node (cache chunks it
+    #: owns, or a data server's dirty writeback backlog).
+    node_cap_bytes: int = 128 * 1024 * 1024
+
+    # -- benefit governor (hysteresis state machine) --------------------
+    #: EWMA smoothing factor for hit-rate / misprefetch / throughput.
+    ewma_alpha: float = 0.4
+    #: Realized cache hit-rate below which data-driven benefit is judged
+    #: negative (a well-predicted workload sits far above this).
+    min_hit_rate: float = 0.30
+    #: Observed datadriven/normal throughput ratio below which benefit is
+    #: judged negative (1.0 = parity; a little slack for noise).
+    min_speedup: float = 0.75
+    #: How long a probe runs before it may be promoted to ``datadriven``.
+    probe_window_s: float = 1.0
+    #: Cooldown after a degrade before re-probing; doubles per degrade.
+    cooldown_s: float = 2.0
+    cooldown_factor: float = 2.0
+    cooldown_max_s: float = 60.0
+
+    # -- circuit breaker (memcache ring) --------------------------------
+    #: Consecutive failed/slow cache batches that trip the breaker.
+    breaker_failures: int = 3
+    #: A cache multi-get slower than this counts as a failure.
+    breaker_latency_s: float = 0.5
+    #: Open-state hold time before a half-open probe is allowed.
+    breaker_reset_s: float = 2.0
+
+    # -- stall watchdog --------------------------------------------------
+    #: Run the watchdog daemon at all (pure detector; never intervenes).
+    watchdog: bool = True
+    #: Evaluation period of the watchdog daemon.
+    watchdog_interval_s: float = 1.0
+    #: A process waiting on the same untriggered event for this long is
+    #: considered stalled.  Must exceed the longest *legitimate* blocking
+    #: interval in the run (e.g. a fault plan's partition windows).
+    stall_window_s: float = 5.0
+
+    #: Master switch: ``enabled=False`` constructs the governor but wires
+    #: nothing, so a run behaves exactly as with no guard at all.
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.job_cap_bytes <= 0 or self.node_cap_bytes <= 0:
+            raise ValueError("budget caps must be positive")
+        if not 0 < self.ewma_alpha <= 1:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if not 0 <= self.min_hit_rate <= 1:
+            raise ValueError("min_hit_rate must be in [0, 1]")
+        if self.min_speedup <= 0:
+            raise ValueError("min_speedup must be positive")
+        if self.probe_window_s <= 0 or self.cooldown_s <= 0:
+            raise ValueError("probe/cooldown windows must be positive")
+        if self.cooldown_factor < 1:
+            raise ValueError("cooldown_factor must be >= 1")
+        if self.breaker_failures < 1:
+            raise ValueError("breaker_failures must be >= 1")
+        if self.breaker_latency_s <= 0 or self.breaker_reset_s <= 0:
+            raise ValueError("breaker thresholds must be positive")
+        if self.watchdog_interval_s <= 0 or self.stall_window_s <= 0:
+            raise ValueError("watchdog windows must be positive")

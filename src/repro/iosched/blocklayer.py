@@ -100,7 +100,7 @@ class BlockLayer:
         self.stats = BlockLayerStats()
         self._head_lbn = 0
         self._arrival: Optional[Event] = None
-        self._congestion_waiters: list[Event] = []
+        self._congestion_waiters: list[Event] = []  # simlint: ignore[SL006] one event per inflight submitter; drained every un-congest
         self._metrics: Optional[_BlkMetrics] = (
             _BlkMetrics(sim.obs.registry, name) if sim.obs.enabled else None
         )

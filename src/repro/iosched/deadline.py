@@ -38,7 +38,7 @@ class DeadlineScheduler(IoScheduler):
         self._sorted = {"R": SortedUnitQueue(max_sectors), "W": SortedUnitQueue(max_sectors)}
         # FIFO of (deadline, unit).  Entries whose unit is no longer queued
         # (dispatched, or absorbed by a merge) are skipped lazily.
-        self._fifo: dict[str, deque[tuple[float, IoUnit]]] = {"R": deque(), "W": deque()}
+        self._fifo: dict[str, deque[tuple[float, IoUnit]]] = {"R": deque(), "W": deque()}  # simlint: ignore[SL006] bounded by queued units (nr_requests analogue upstream)
         self._batch_left = 0
         self._batch_op = "R"
         self._starved = 0

@@ -21,7 +21,7 @@ class NoopScheduler(IoScheduler):
 
     def __init__(self, max_sectors: int = DEFAULT_MAX_SECTORS):
         super().__init__(max_sectors)
-        self._fifo: deque[IoUnit] = deque()
+        self._fifo: deque[IoUnit] = deque()  # simlint: ignore[SL006] bounded by queued units (nr_requests analogue upstream)
 
     def add(self, req: BlockRequest, now: float) -> None:
         if self._fifo:

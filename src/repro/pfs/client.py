@@ -103,7 +103,7 @@ class PfsClient:
                     f"timeout {timeout_s:.3f}s)"
                 )
             self.n_retries += 1
-            yield sim.timeout(policy.backoff_s(attempt))
+            yield sim.timeout(policy.backoff_s(attempt, rng=faults.rng))
 
     # ------------------------------------------------------------------
 

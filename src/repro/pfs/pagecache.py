@@ -60,7 +60,7 @@ class ServerPageCache:
         #: access from many contexts thrashes detection exactly as it does
         #: on a real data server.
         self._ra: dict[tuple[str, int], _RaState] = {}
-        self._fifo: deque[tuple[str, int, int]] = deque()
+        self._fifo: deque[tuple[str, int, int]] = deque()  # simlint: ignore[SL006] eviction order over resident pages; bounded by capacity_bytes
         self.resident_bytes = 0
         self.n_hits = 0
         self.n_misses = 0

@@ -48,6 +48,11 @@ class WritebackBuffer:
         self.dirty_bytes = 0
         self.n_flushes = 0
         self.flushed_bytes = 0
+        #: Guard memory budget (repro.guard.MemoryBudget) when a safety
+        #: governor is attached; None nominally.  The dirty backlog is
+        #: charged against this server's node, and reaching the node cap
+        #: paces the flusher early (backpressure instead of growth).
+        self.budget = None
         self._flush_gate = None
         self._proc = sim.process(
             self._flusher(), name=f"wb-{server.server_index}", daemon=True
@@ -74,8 +79,17 @@ class WritebackBuffer:
             s = min(s, ivs[i][0])
             e = max(e, ivs[i][1])
         ivs[lo:hi] = [(s, e)]
-        self.dirty_bytes += (e - s) - removed
-        if self.dirty_bytes >= self.max_dirty_bytes and self._flush_gate is not None:
+        delta = (e - s) - removed
+        self.dirty_bytes += delta
+        budget = self.budget
+        if budget is not None and delta > 0:
+            budget.charge(delta, node=self.server.node_id)
+        kick = self.dirty_bytes >= self.max_dirty_bytes
+        if not kick and budget is not None and budget.node_over(self.server.node_id):
+            # Node-level cap reached: pace the writeback ahead of schedule.
+            kick = True
+            budget.record_paced()
+        if kick and self._flush_gate is not None:
             # Memory pressure: kick the flusher early.
             gate, self._flush_gate = self._flush_gate, None
             if not gate.triggered:
@@ -91,6 +105,8 @@ class WritebackBuffer:
         lost = self.dirty_bytes
         self._dirty = {}
         self.dirty_bytes = 0
+        if self.budget is not None and lost:
+            self.budget.release(lost, node=self.server.node_id)
         return lost
 
     def covers(self, file_name: str, offset: int, length: int) -> bool:
@@ -125,6 +141,8 @@ class WritebackBuffer:
         batch, self._dirty = self._dirty, {}
         flushed = self.dirty_bytes
         self.dirty_bytes = 0
+        if self.budget is not None and flushed:
+            self.budget.release(flushed, node=self.server.node_id)
         from repro.pfs.dataserver import ServerRequest
 
         completions = []

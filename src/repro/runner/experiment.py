@@ -72,6 +72,8 @@ class ExperimentResult:
     metrics: Optional[dict] = None
     #: The fault injector driving the run (None for nominal runs).
     faults: Any = None
+    #: The safety governor guarding the run (None for unguarded runs).
+    guard: Any = None
 
     @property
     def system_throughput_mb_s(self) -> float:
@@ -112,6 +114,7 @@ def run_experiment(
     limit_s: float = 1e6,
     observe=None,
     fault_plan=None,
+    guard=None,
 ) -> ExperimentResult:
     """Run ``specs`` on one fresh cluster; return all measurements.
 
@@ -124,6 +127,10 @@ def run_experiment(
     returned as ``result.metrics``.  ``fault_plan`` is an optional
     :class:`repro.faults.FaultPlan`; when given, a deterministic
     :class:`repro.faults.FaultInjector` replays it against the cluster.
+    ``guard`` is an optional :class:`repro.guard.GuardConfig` (or True
+    for defaults); when enabled, a :class:`repro.guard.SafetyGovernor`
+    is attached across the stack (budgets, benefit governor, breaker,
+    watchdog) and returned as ``result.guard``.
     """
     if not specs:
         raise ValueError("need at least one job spec")
@@ -134,6 +141,15 @@ def run_experiment(
     dualpar: Optional[DualParSystem] = None
     if any(s.strategy.startswith("dualpar") for s in specs):
         dualpar = DualParSystem(runtime, dualpar_config)
+
+    governor = None
+    if guard is not None:
+        from repro.guard import GuardConfig, SafetyGovernor
+
+        guard_config = guard if isinstance(guard, GuardConfig) else GuardConfig()
+        if guard_config.enabled:
+            governor = SafetyGovernor(runtime.sim, guard_config)
+            governor.attach(dualpar=dualpar, runtime=runtime, cluster=cluster)
 
     faults = None
     if fault_plan is not None:
@@ -206,4 +222,5 @@ def run_experiment(
             else None
         ),
         faults=faults,
+        guard=governor,
     )

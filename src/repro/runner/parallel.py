@@ -69,6 +69,9 @@ class ExperimentSpec:
     observe: bool = False
     #: Deterministic fault schedule replayed against the cell (or None).
     fault_plan: Optional[FaultPlan] = None
+    #: Safety-governor config (repro.guard.GuardConfig) or None to run
+    #: unguarded; part of the cache fingerprint.
+    guard: Optional[Any] = None
     #: Free-form display label; not part of the cache fingerprint.
     label: str = ""
 
@@ -98,6 +101,10 @@ class SlimExperimentResult:
     metrics: Optional[dict] = None
     #: (time, kind, phase, target) fault events, when a plan was injected.
     fault_log: list = field(default_factory=list)
+    #: Guard (time, job, state, reason) transitions, when a guard ran.
+    guard_transitions: list = field(default_factory=list)
+    #: Picklable SafetyGovernor.summary() dict, when a guard ran.
+    guard_summary: Optional[dict] = None
 
     @property
     def system_throughput_mb_s(self) -> float:
@@ -124,6 +131,8 @@ class SlimExperimentResult:
             timeline=res.timeline,
             metrics=res.metrics,
             fault_log=list(res.faults.log) if res.faults is not None else [],
+            guard_transitions=list(res.guard.transitions) if res.guard else [],
+            guard_summary=res.guard.summary() if res.guard else None,
         )
 
 
@@ -188,6 +197,11 @@ def _canonical(obj: Any) -> Any:
 
 def experiment_fingerprint(spec: ExperimentSpec) -> str:
     """Deterministic key for one cell: parameters + code version."""
+    # A disabled guard config runs bit-identically to no guard at all
+    # (run_experiment never builds the governor), so both share a key.
+    guard = spec.guard
+    if guard is not None and not getattr(guard, "enabled", True):
+        guard = None
     payload = _canonical(
         (
             tuple(spec.specs),
@@ -199,6 +213,9 @@ def experiment_fingerprint(spec: ExperimentSpec) -> str:
             # would lack, so the flag must key the cache.
             spec.observe,
             spec.fault_plan,
+            # Guarded cells behave differently (budgets, governor); the
+            # config must key the cache.
+            guard,
         )
     )
     h = hashlib.sha256()
@@ -246,6 +263,11 @@ def _cache_store(path: Path, result: SlimExperimentResult) -> None:
         try:
             with os.fdopen(fd, "wb") as f:
                 pickle.dump(result, f)
+                # Make the temp file durable before it becomes visible:
+                # os.replace is atomic in the namespace, but a crash before
+                # the data hits disk could still publish a torn entry.
+                f.flush()
+                os.fsync(f.fileno())
             os.replace(tmp, path)
         finally:
             if os.path.exists(tmp):
@@ -272,6 +294,7 @@ def _run_spec(spec: ExperimentSpec) -> SlimExperimentResult:
         limit_s=spec.limit_s,
         observe=observe,
         fault_plan=spec.fault_plan,
+        guard=spec.guard,
     )
     return SlimExperimentResult.from_full(res)
 

@@ -248,6 +248,8 @@ class Process(Event):
         self._throw = gen.throw
         if sim._sanitizer is not None:
             sim._sanitizer.on_process_created(self)
+        if sim._watchdog is not None:
+            sim._watchdog.on_process_created(self)
         _Initialize(sim, self)
 
     @property
@@ -443,6 +445,9 @@ class Simulator:
             self._sanitizer = SimSanitizer(self)
         else:
             self._sanitizer = None
+        #: Stall watchdog (repro.guard.watchdog) when one is installed;
+        #: None nominally, so unguarded runs pay one attribute load.
+        self._watchdog = None
         self.obs: "Union[Observability, NullObservability]"
         if observe is not None and observe.enabled:
             self.obs = observe
@@ -470,6 +475,11 @@ class Simulator:
     def sanitizer(self) -> Optional["SimSanitizer"]:
         """The attached runtime sanitizer, or None when not sanitizing."""
         return self._sanitizer
+
+    @property
+    def watchdog(self):
+        """The attached stall watchdog, or None when none is installed."""
+        return self._watchdog
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""

@@ -53,7 +53,7 @@ class Resource:
         self.sim = sim
         self.capacity = capacity
         self.users: list[_Request] = []
-        self.queue: deque[_Request] = deque()
+        self.queue: deque[_Request] = deque()  # simlint: ignore[SL006] one entry per waiting process
 
     @property
     def count(self) -> int:
@@ -63,12 +63,17 @@ class Resource:
     def request(self) -> _Request:
         req = _Request(self)
         san = self.sim._sanitizer
+        wd = self.sim._watchdog
         if san is not None:
             san.on_request(self, req)
+        if wd is not None:
+            wd.on_request(self, req)
         if len(self.users) < self.capacity:
             self.users.append(req)
             if san is not None:
                 san.on_acquire(self, req)
+            if wd is not None:
+                wd.on_acquire(self, req)
             req.succeed(req)
         else:
             self.queue.append(req)
@@ -76,9 +81,12 @@ class Resource:
 
     def release(self, request: _Request) -> None:
         san = self.sim._sanitizer
+        wd = self.sim._watchdog
         if san is not None:
             # Raises with owning-process attribution on a double release.
             san.on_release(self, request)
+        if wd is not None:
+            wd.on_release(self, request)
         try:
             self.users.remove(request)
         except ValueError:
@@ -93,6 +101,8 @@ class Resource:
             self.users.append(nxt)
             if san is not None:
                 san.on_acquire(self, nxt)
+            if wd is not None:
+                wd.on_acquire(self, nxt)
             nxt.succeed(nxt)
 
 
@@ -120,12 +130,17 @@ class PriorityResource(Resource):
         self._seq += 1
         req = _PriorityRequest(self, priority, self._seq)
         san = self.sim._sanitizer
+        wd = self.sim._watchdog
         if san is not None:
             san.on_request(self, req)
+        if wd is not None:
+            wd.on_request(self, req)
         if len(self.users) < self.capacity:
             self.users.append(req)
             if san is not None:
                 san.on_acquire(self, req)
+            if wd is not None:
+                wd.on_acquire(self, req)
             req.succeed(req)
         else:
             heapq.heappush(self._pq, req)
@@ -133,8 +148,11 @@ class PriorityResource(Resource):
 
     def release(self, request: _Request) -> None:  # type: ignore[override]
         san = self.sim._sanitizer
+        wd = self.sim._watchdog
         if san is not None:
             san.on_release(self, request)
+        if wd is not None:
+            wd.on_release(self, request)
         try:
             self.users.remove(request)
         except ValueError:
@@ -149,6 +167,8 @@ class PriorityResource(Resource):
             self.users.append(nxt)
             if san is not None:
                 san.on_acquire(self, nxt)
+            if wd is not None:
+                wd.on_acquire(self, nxt)
             nxt.succeed(nxt)
 
 
@@ -164,9 +184,9 @@ class Store:
             raise SimulationError("Store capacity must be positive")
         self.sim = sim
         self.capacity = capacity
-        self.items: deque[Any] = deque()
-        self._getters: deque[Event] = deque()
-        self._putters: deque[tuple[Event, Any]] = deque()
+        self.items: deque[Any] = deque()  # simlint: ignore[SL006] bounded by Store capacity (put blocks at cap)
+        self._getters: deque[Event] = deque()  # simlint: ignore[SL006] one entry per waiting process
+        self._putters: deque[tuple[Event, Any]] = deque()  # simlint: ignore[SL006] one entry per waiting process
 
     def __len__(self) -> int:
         return len(self.items)
@@ -205,7 +225,7 @@ class FilterStore(Store):
 
     def __init__(self, sim: Simulator, capacity: float = float("inf")) -> None:
         super().__init__(sim, capacity)
-        self._fgetters: deque[tuple[Event, Callable[[Any], bool]]] = deque()
+        self._fgetters: deque[tuple[Event, Callable[[Any], bool]]] = deque()  # simlint: ignore[SL006] one entry per waiting process
 
     def get(self, predicate: Optional[Callable[[Any], bool]] = None) -> Event:  # type: ignore[override]
         pred = predicate or (lambda _item: True)

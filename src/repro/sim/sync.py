@@ -27,7 +27,7 @@ class Gate:
     def __init__(self, sim: Simulator, opened: bool = True) -> None:
         self.sim = sim
         self._open = opened
-        self._waiters: deque[Event] = deque()
+        self._waiters: deque[Event] = deque()  # simlint: ignore[SL006] one entry per waiting process
 
     @property
     def is_open(self) -> bool:
@@ -93,7 +93,7 @@ class Semaphore:
             raise SimulationError("semaphore value must be >= 0")
         self.sim = sim
         self._value = value
-        self._waiters: deque[Event] = deque()
+        self._waiters: deque[Event] = deque()  # simlint: ignore[SL006] one entry per waiting process
 
     @property
     def value(self) -> int:

@@ -21,11 +21,13 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cluster import ClusterSpec, build_cluster, paper_spec
+from repro.core.config import DualParConfig
 from repro.disk.drive import DiskParams
 from repro.faults import FaultEvent, FaultInjector, FaultPlan, RetryPolicy
+from repro.guard import GuardConfig
 from repro.runner import ExperimentSpec, JobSpec, run_experiment, run_experiments
 from repro.runner.parallel import experiment_fingerprint
-from repro.workloads import Demo, MpiIoTest
+from repro.workloads import Demo, DependentReads, MpiIoTest
 
 
 def small_spec(**kw):
@@ -194,6 +196,85 @@ def test_dualpar_beats_baseline_under_failslow():
     vanilla = run("vanilla")
     dualpar = run("dualpar-forced")
     assert dualpar.makespan_s < vanilla.makespan_s
+
+
+# ------------------------------------------------------------ chaos x guard
+
+
+_FAILSLOW = FaultPlan(
+    seed=3,
+    events=(
+        FaultEvent(kind="disk_failslow", at_s=0.0, until_s=1e6, target=1,
+                   transfer_factor=6.0),
+    ),
+)
+
+
+def test_guarded_adversary_under_failslow_stays_near_vanilla():
+    """The headline degradation bound: a misprediction-heavy workload
+    pinned to data-driven mode, on a cluster with a fail-slow disk, with
+    the guard on, must (a) be degraded by the benefit governor and
+    (b) finish within 10% of plain vanilla MPI-IO on the same cluster."""
+
+    def run(strategy, guard=None):
+        return run_experiment(
+            [JobSpec("adversary", 8, DependentReads(file_size=64 << 20),
+                     strategy=strategy)],
+            cluster_spec=paper_spec(n_compute_nodes=4, n_data_servers=4),
+            dualpar_config=DualParConfig(quota_bytes=64 * 1024),
+            limit_s=1e4,
+            fault_plan=_FAILSLOW,
+            guard=guard,
+        )
+
+    vanilla = run("vanilla")
+    guarded = run("dualpar-forced", guard=GuardConfig())
+    unguarded = run("dualpar-forced")
+    assert guarded.guard.state_of("adversary") == "degraded"
+    assert guarded.makespan_s <= 1.10 * vanilla.makespan_s
+    # ... while the same pinned job without the guard pays the full
+    # Table-III misprediction tax.
+    assert guarded.makespan_s < unguarded.makespan_s
+
+
+def test_guard_preserves_dualpar_win_under_failslow():
+    """The guard must not tax the nominal case: a well-predicted workload
+    under the same fail-slow plan keeps its DualPar speedup with the
+    governor watching."""
+
+    def run(strategy, guard=None):
+        return run_experiment(
+            [JobSpec("job", 8, Demo(file_size=48 << 20, nprocs_hint=8),
+                     strategy=strategy)],
+            cluster_spec=paper_spec(n_compute_nodes=4, n_data_servers=4),
+            limit_s=1e4,
+            fault_plan=_FAILSLOW,
+            guard=guard,
+        )
+
+    vanilla = run("vanilla")
+    guarded = run("dualpar-forced", guard=GuardConfig())
+    assert guarded.makespan_s < vanilla.makespan_s
+    # The governor saw no reason to pull the job out of data-driven mode.
+    assert guarded.guard.state_of("job") in ("probing", "datadriven")
+
+
+def test_guarded_chaos_run_is_bit_identical():
+    plan = SMOKE_PLANS["disk_failslow"]
+
+    def run():
+        res = run_experiment(
+            [JobSpec("job", 8, MpiIoTest(file_size=32 << 20, op="R"),
+                     strategy="dualpar-forced")],
+            cluster_spec=paper_spec(n_compute_nodes=4, n_data_servers=4,
+                                    trace_disks=True),
+            limit_s=1e4,
+            fault_plan=plan,
+            guard=GuardConfig(),
+        )
+        return _fingerprint(res), list(res.guard.transitions)
+
+    assert run() == run()
 
 
 # ------------------------------------------------- runner / cache plumbing

@@ -1,5 +1,7 @@
 """Unit tests for the deterministic fault-injection layer (repro.faults)."""
 
+import random
+
 import pytest
 
 from repro.cache.chunk import ChunkKey
@@ -126,6 +128,46 @@ def test_retry_policy_validation():
         RetryPolicy(max_retries=-1)
     with pytest.raises(ValueError):
         RetryPolicy(backoff_factor=0.5)
+    with pytest.raises(ValueError, match="backoff_jitter"):
+        RetryPolicy(backoff_jitter="equal")
+
+
+def test_unjittered_backoff_ignores_rng():
+    # The default policy must replay identically whether or not the
+    # injector hands it the plan RNG (pre-jitter plans stay bit-exact).
+    pol = RetryPolicy(backoff_base_s=0.01, backoff_factor=2.0, backoff_max_s=0.05)
+    rng = random.Random(1)
+    assert [pol.backoff_s(a, rng=rng) for a in range(1, 5)] == [
+        pol.backoff_s(a) for a in range(1, 5)
+    ]
+    assert rng.random() == random.Random(1).random()  # RNG never consumed
+
+
+def test_full_jitter_is_bounded_and_seeded():
+    pol = RetryPolicy(
+        backoff_base_s=0.01,
+        backoff_factor=2.0,
+        backoff_max_s=0.05,
+        backoff_jitter="full",
+    )
+    plain = RetryPolicy(backoff_base_s=0.01, backoff_factor=2.0, backoff_max_s=0.05)
+    sleeps = [pol.backoff_s(a, rng=random.Random(42)) for a in range(1, 8)]
+    for attempt, s in enumerate(sleeps, start=1):
+        assert 0.0 <= s <= plain.backoff_s(attempt)  # under the unjittered ceiling
+    # Same seed, same sleeps -- and without an RNG it falls back to the ceiling.
+    assert sleeps == [pol.backoff_s(a, rng=random.Random(42)) for a in range(1, 8)]
+    assert pol.backoff_s(3) == plain.backoff_s(3)
+
+
+def test_backoff_jitter_round_trips_through_json():
+    plan = FaultPlan(
+        seed=3,
+        events=(FaultEvent(kind="server_crash", at_s=1.0, until_s=2.0, target=0),),
+        retry=RetryPolicy(backoff_jitter="full"),
+    )
+    restored = FaultPlan.from_json(plan.to_json())
+    assert restored == plan
+    assert restored.retry.backoff_jitter == "full"
 
 
 # -------------------------------------------------------------- ServerHealth

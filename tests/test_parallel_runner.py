@@ -105,6 +105,23 @@ def test_corrupt_cache_file_is_ignored(tmp_path):
     assert parallel.LAST_RUN_STATS.misses == 1
 
 
+def test_truncated_cache_entry_is_a_miss(tmp_path):
+    """A valid entry cut short mid-stream -- the torn-write shape fsync in
+    ``_cache_store`` defends against -- must replay as a miss and be
+    rewritten whole."""
+    spec = _spec("vanilla")
+    good = run_experiments([spec], jobs=1, cache_dir=tmp_path)
+    path = tmp_path / f"{experiment_fingerprint(spec)}.pkl"
+    whole = path.read_bytes()
+
+    path.write_bytes(whole[: len(whole) // 2])
+    again = run_experiments([spec], jobs=1, cache_dir=tmp_path)
+    assert parallel.LAST_RUN_STATS.misses == 1
+    assert parallel.LAST_RUN_STATS.hits == 0
+    assert pickle.dumps(good) == pickle.dumps(again)
+    assert path.read_bytes() == whole  # entry healed by the re-run
+
+
 def test_cache_can_be_disabled(tmp_path, monkeypatch):
     spec = _spec("vanilla")
     run_experiments([spec], jobs=1, cache=False, cache_dir=tmp_path)

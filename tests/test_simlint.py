@@ -201,6 +201,72 @@ class TestSL005:
 
 
 # ---------------------------------------------------------------------------
+# SL006 -- unbounded queues
+# ---------------------------------------------------------------------------
+
+
+class TestSL006:
+    def test_unbounded_deque_flagged(self):
+        src = "from collections import deque\nq = deque()\n"
+        assert rules_of(lint_source(src, SIM_PATH)) == ["SL006"]
+
+    def test_module_form_deque_flagged(self):
+        src = "import collections\nq = collections.deque()\n"
+        assert rules_of(lint_source(src, SIM_PATH)) == ["SL006"]
+
+    def test_maxlen_deque_clean(self):
+        src = "from collections import deque\nq = deque(maxlen=64)\n"
+        assert lint_source(src, SIM_PATH) == []
+
+    def test_two_arg_deque_clean(self):
+        # deque(iterable, maxlen) positional form is bounded.
+        src = "from collections import deque\nq = deque([], 64)\n"
+        assert lint_source(src, SIM_PATH) == []
+
+    def test_queueish_list_attribute_flagged(self):
+        src = (
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self.queue = []\n"
+        )
+        assert rules_of(lint_source(src, SIM_PATH)) == ["SL006"]
+
+    def test_waiters_list_call_flagged(self):
+        src = (
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self.read_waiters = list()\n"
+        )
+        assert rules_of(lint_source(src, SIM_PATH)) == ["SL006"]
+
+    def test_non_queueish_attribute_clean(self):
+        src = (
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self.results = []\n"
+        )
+        assert lint_source(src, SIM_PATH) == []
+
+    def test_local_list_clean(self):
+        # Locals are structurally bounded by their enclosing call; only
+        # long-lived attribute queues need a documented budget.
+        src = "def f():\n    queue = []\n    return queue\n"
+        assert lint_source(src, SIM_PATH) == []
+
+    def test_outside_sim_scope_clean(self):
+        src = "from collections import deque\nq = deque()\n"
+        assert lint_source(src, "src/repro/workloads/fixture.py") == []
+
+    def test_ignore_comment_with_reason(self):
+        src = (
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self.queue = []  # simlint: ignore[SL006] drained per tick\n"
+        )
+        assert lint_source(src, SIM_PATH) == []
+
+
+# ---------------------------------------------------------------------------
 # ignore comments
 # ---------------------------------------------------------------------------
 
