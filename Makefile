@@ -1,7 +1,7 @@
 PYTHON ?= python
 NPROC ?= $(shell nproc 2>/dev/null || echo 1)
 
-.PHONY: install test test-fast coverage lint sanitize chaos soak bench bench-fast bench-kernel bench-gate examples results clean
+.PHONY: install test test-fast test-heap coverage lint sanitize chaos soak bench bench-fast bench-kernel bench-gate examples results clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -16,6 +16,11 @@ test-fast:
 		&& $(PYTHON) -m pytest tests/ -n $(NPROC) -q \
 		|| { echo "pytest-xdist not installed; running serially"; \
 		     $(PYTHON) -m pytest tests/ -q; }
+
+# Tier-1 suite on the reference binary-heap event queue (the CI matrix
+# runs the same leg; the default discipline is the calendar queue).
+test-heap:
+	REPRO_EVENT_QUEUE=heap $(PYTHON) -m pytest tests/ -q
 
 # Determinism lint (simlint, stdlib-only, always runs) plus ruff and mypy
 # when the dev extra is installed; absent tools are skipped, not failures.
@@ -57,9 +62,12 @@ bench:
 
 # Benchmark grids with process fan-out across all CPUs and the on-disk
 # result cache enabled: a warm re-run only recomputes changed cells.
+# The kernel-micro table includes the heap-vs-calendar queue A/B rows.
 bench-fast:
 	BENCH_JOBS=$(NPROC) $(PYTHON) -m pytest benchmarks/ --benchmark-only
 
+# Standalone kernel microbench; prints both event-queue variants and
+# rewrites benchmarks/results/BENCH_kernel.json.
 bench-kernel:
 	$(PYTHON) benchmarks/bench_kernel_micro.py
 

@@ -46,11 +46,13 @@ def _pingpong(sim, store, n, rank):
         yield store.get()
 
 
-def measure_events_per_sec(n_procs: int = 16, n_iters: int = 20_000, repeats: int = 3) -> float:
+def measure_events_per_sec(
+    n_procs: int = 16, n_iters: int = 20_000, repeats: int = 3, queue=None
+) -> float:
     """Best-of-N events/sec through the bare kernel (yield-Timeout loop)."""
     best = 0.0
     for _ in range(repeats):
-        sim = Simulator()
+        sim = Simulator() if queue is None else Simulator(queue=queue)
         for _p in range(n_procs):
             sim.process(_timeout_loop(sim, n_iters))
         t0 = time.perf_counter()
@@ -58,6 +60,75 @@ def measure_events_per_sec(n_procs: int = 16, n_iters: int = 20_000, repeats: in
         rate = n_procs * n_iters / (time.perf_counter() - t0)
         best = max(best, rate)
     return best
+
+
+def measure_queue_ab(repeats: int = 3) -> dict:
+    """Heap-vs-calendar A/B on the same workload.
+
+    ``calendar`` is the default discipline (C-accelerated when the
+    in-tree extension built); ``calendar_py`` forces the pure-Python
+    calendar by passing an explicit instance, which also bypasses the C
+    dispatch pump; ``heap`` is the reference binary heap.
+    """
+    from repro.sim import CalendarQueue
+
+    return {
+        "heap": measure_events_per_sec(repeats=repeats, queue="heap"),
+        "calendar": measure_events_per_sec(repeats=repeats, queue="calendar"),
+        "calendar_py": measure_events_per_sec(repeats=repeats, queue=CalendarQueue()),
+    }
+
+
+def _pow2_bin(x: float) -> str:
+    from math import floor, log2
+
+    return f"2^{floor(log2(x))}" if x > 0 else "0"
+
+
+def measure_queue_histograms(n_events: int = 50_000) -> dict:
+    """Queue-depth and inter-cohort-gap histograms over a bursty,
+    heavy-tailed schedule (the traffic shape the calendar's lazy width
+    adaptation is tuned for).  Justifies the power-of-two sizing rule:
+    the gap mass should sit within a few bins of the final slot width.
+    """
+    from random import Random
+
+    from repro.sim import CalendarQueue
+    from repro.sim.core import NORMAL
+
+    rng = Random(20260808)
+    q = CalendarQueue()
+    depth: dict[str, int] = {}
+    gaps: dict[str, int] = {}
+    now = 0.0
+    pushed = popped = 0
+    while popped < n_events:
+        while pushed < n_events and (len(q) < 32 or rng.random() < 0.6):
+            # Service times spanning microseconds to hours, in bursts.
+            dt = rng.expovariate(1.0) * 2.0 ** rng.uniform(-10.0, 8.0)
+            q.push(now + dt, NORMAL, pushed)
+            pushed += 1
+        cohort = q.pop_cohort()
+        if cohort is None:
+            continue
+        t, _prio, events = cohort
+        popped += len(events)
+        events[:] = [None] * len(events)
+        if t > now:
+            g = _pow2_bin(t - now)
+            gaps[g] = gaps.get(g, 0) + 1
+            now = t
+        d = _pow2_bin(float(len(q)))
+        depth[d] = depth.get(d, 0) + 1
+
+    def _sorted(h: dict) -> dict:
+        return dict(sorted(h.items(), key=lambda kv: float(kv[0].replace("2^", "") or 0)))
+
+    return {
+        "depth": _sorted(depth),
+        "inter_event_gap_s": _sorted(gaps),
+        "final_calendar_info": q.info(),
+    }
 
 
 def measure_mixed_events_per_sec(n_procs: int = 16, n_iters: int = 5_000) -> float:
@@ -96,10 +167,15 @@ def collect() -> dict:
         del os.environ["REPRO_NO_EVENT_POOL"]
     mixed = measure_mixed_events_per_sec()
     cell_s = measure_cell_seconds()
+    queue_ab = measure_queue_ab()
+    histograms = measure_queue_histograms()
     return {
         "events_per_sec": pooled,
         "events_per_sec_no_pool": unpooled,
         "events_per_sec_mixed": mixed,
+        "queue_ab": queue_ab,
+        "calendar_vs_heap": queue_ab["calendar"] / queue_ab["heap"],
+        "queue_histograms": histograms,
         "vanilla_cell_s": cell_s,
         "cells_per_sec": 1.0 / cell_s,
         "seed_baseline": SEED_BASELINE,
@@ -116,10 +192,15 @@ def write_bench_json(payload: dict) -> pathlib.Path:
 
 
 def _rows(data: dict) -> list[list]:
+    ab = data["queue_ab"]
     return [
         ["events/sec (pooled)", f"{data['events_per_sec']:,.0f}"],
         ["events/sec (REPRO_NO_EVENT_POOL=1)", f"{data['events_per_sec_no_pool']:,.0f}"],
         ["events/sec (mixed store traffic)", f"{data['events_per_sec_mixed']:,.0f}"],
+        ["events/sec (queue=heap)", f"{ab['heap']:,.0f}"],
+        ["events/sec (queue=calendar)", f"{ab['calendar']:,.0f}"],
+        ["events/sec (queue=calendar, pure python)", f"{ab['calendar_py']:,.0f}"],
+        ["calendar vs heap", f"{data['calendar_vs_heap']:.2f}x"],
         ["16-rank vanilla cell (s)", f"{data['vanilla_cell_s']:.4f}"],
         ["speedup vs seed kernel", f"{data['speedup_vs_seed']:.2f}x"],
         ["cell speedup vs seed kernel", f"{data['cell_speedup_vs_seed']:.2f}x"],
@@ -145,6 +226,10 @@ def test_kernel_micro(benchmark, report):
     # never make things slower than the escape-hatch path.
     assert data["events_per_sec"] > 100_000
     assert data["events_per_sec"] > 0.8 * data["events_per_sec_no_pool"]
+    assert data["queue_ab"]["heap"] > 100_000
+    # The default discipline must never lose badly to the reference heap.
+    assert data["calendar_vs_heap"] > 0.8
+    assert data["queue_histograms"]["inter_event_gap_s"]
 
 
 def main() -> int:

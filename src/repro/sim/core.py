@@ -1,15 +1,27 @@
 """Core event loop, events, and coroutine processes.
 
-The design follows the classic event-list DES structure: a binary heap of
-``(time, priority, sequence, event)`` entries.  Events are one-shot: once
-*triggered* they are placed on the heap, and when *processed* their callbacks
-run exactly once.  A :class:`Process` wraps a generator; each value the
-generator yields must be an :class:`Event`, and the process is resumed (via
-``send`` or ``throw``) when that event is processed.
+The design follows the classic event-list DES structure: a pending-event
+schedule ordered by ``(time, priority, arrival)``.  Events are one-shot:
+once *triggered* they are placed on the schedule, and when *processed*
+their callbacks run exactly once.  A :class:`Process` wraps a generator;
+each value the generator yields must be an :class:`Event`, and the
+process is resumed (via ``send`` or ``throw``) when that event is
+processed.
 
 Determinism: ties in time are broken first by an integer priority (lower
-runs first) and then by a monotonically increasing sequence number, so a
-simulation is a pure function of its inputs.
+runs first) and then by arrival order, so a simulation is a pure
+function of its inputs.
+
+The schedule itself is pluggable (see :mod:`repro.sim.equeue`): the
+default is a slotted calendar queue with O(1) amortized push/pop for the
+short-timeout traffic that dominates the paper's workloads, with the
+classic binary heap retained as a reference fallback.  Select with
+``Simulator(queue="heap")`` / ``Simulator(queue="calendar")`` or the
+``REPRO_EVENT_QUEUE`` environment variable; both orderings are
+bit-identical.  Events are dispatched in *cohorts* -- all events sharing
+one ``(time, priority)`` band are drained in a single inner loop so
+per-event bookkeeping (until-check, sanitizer probe, clock write) is
+amortized per band.
 
 Performance: the inner loop is allocation-light.  :class:`Timeout` events
 are recycled through a per-simulator free list (see
@@ -18,6 +30,11 @@ check so an event that any other code still holds is never reused.  Set
 ``REPRO_NO_EVENT_POOL=1`` to disable the pool (simulators created while
 the variable is set allocate a fresh ``Timeout`` per call; scheduling
 order, and therefore every simulated result, is identical either way).
+When a C compiler is available, a small extension module
+(:mod:`repro.sim._accel`) additionally accelerates the calendar queue
+and the Timeout dispatch fast path; set ``REPRO_SIM_ACCEL=0`` to force
+pure Python.  The accelerator is engaged only when the sanitizer is off
+and mirrors the Python semantics exactly, so results are identical.
 
 Sanitizing: ``Simulator(sanitize=True)`` (or ``REPRO_SANITIZE=1``)
 attaches a :class:`repro.devtools.sanitizer.SimSanitizer` that validates
@@ -40,9 +57,11 @@ from __future__ import annotations
 
 import os
 from collections.abc import Generator
-from heapq import heappop, heappush
 from sys import getrefcount
 from typing import TYPE_CHECKING, Any, Callable, Optional, Union
+
+from repro.sim import _accel
+from repro.sim.equeue import CalendarQueue, EventQueue, HeapQueue
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.devtools.sanitizer import SimSanitizer
@@ -66,6 +85,11 @@ URGENT = 0
 
 #: Upper bound on recycled Timeout objects kept per simulator.
 _POOL_MAX = 4096
+
+#: The compiled repro.sim._cq extension module once it has been loaded,
+#: set up, and self-tested (see the wiring at the bottom of this file);
+#: None when unavailable or disabled via REPRO_SIM_ACCEL=0.
+_CQ: Optional[Any] = None
 
 
 class SimulationError(Exception):
@@ -139,8 +163,7 @@ class Event:
         self._ok = True
         self._value = value
         sim = self.sim
-        sim._seq += 1
-        heappush(sim._heap, (sim._now, priority, sim._seq, self))
+        sim._queue.push(sim._now, priority, self)
         return self
 
     def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
@@ -153,8 +176,7 @@ class Event:
         self._ok = False
         self._value = exception
         sim = self.sim
-        sim._seq += 1
-        heappush(sim._heap, (sim._now, priority, sim._seq, self))
+        sim._queue.push(sim._now, priority, self)
         return self
 
     # -- internals -----------------------------------------------------
@@ -191,8 +213,7 @@ class Timeout(Event):
         self._triggered = True
         self._ok = True
         self._value = value
-        sim._seq += 1
-        heappush(sim._heap, (sim._now + delay, NORMAL, sim._seq, self))
+        sim._queue.push(sim._now + delay, NORMAL, self)
 
 
 class _Initialize(Event):
@@ -313,6 +334,11 @@ class Process(Event):
                 callbacks.append(self._resume_cb)
                 self._target = result
                 return
+        self._resume_tail(result)
+
+    def _resume_tail(self, result: Any) -> None:
+        # Cold continuation of _resume, shared with the C dispatch pump
+        # (which inlines everything above this point).
         if not isinstance(result, Event):
             raise SimulationError(
                 f"process {self.name!r} yielded non-event {result!r}"
@@ -412,7 +438,7 @@ def any_of(sim: "Simulator", events: list[Event]) -> Event:
 
 
 class Simulator:
-    """The discrete-event loop: a clock plus a heap of triggered events.
+    """The discrete-event loop: a clock plus a schedule of triggered events.
 
     ``sanitize=True`` attaches a :class:`SimSanitizer` performing runtime
     invariant checks (see :mod:`repro.devtools.sanitizer`); the default
@@ -420,17 +446,25 @@ class Simulator:
     ``observe=`` attaches a :class:`repro.obs.Observability` layer that
     components publish metrics and spans into; the default is the shared
     no-op :data:`repro.obs.NULL_OBS`.
+
+    ``queue=`` selects the pending-event structure: ``"calendar"`` (the
+    default, a slotted calendar queue), ``"heap"`` (the reference binary
+    heap), or any object implementing the cohort contract documented in
+    :mod:`repro.sim.equeue`.  ``None`` defers to ``REPRO_EVENT_QUEUE``.
+    Dispatch order is bit-identical across queues.
     """
 
     def __init__(
         self,
         sanitize: Optional[bool] = None,
         observe: Optional["Observability"] = None,
+        queue: Union[str, EventQueue, None] = None,
     ) -> None:
         self._now: float = 0.0
-        self._heap: list[tuple[float, int, int, Event]] = []
-        self._seq = 0
         self._active: Optional[Process] = None
+        #: Monotone per-dispatch counter fed to the sanitizer's
+        #: ``on_dispatch`` hook as the schedule sequence number.
+        self._dispatch_seq = 0
         #: Free list of recycled Timeout objects (None = pooling disabled).
         self._pool: Optional[list[Timeout]] = (
             None if os.environ.get("REPRO_NO_EVENT_POOL") else []
@@ -458,6 +492,37 @@ class Simulator:
             from repro.obs import NULL_OBS
 
             self.obs = NULL_OBS
+        # -- pending-event schedule ------------------------------------
+        if queue is None:
+            queue = os.environ.get("REPRO_EVENT_QUEUE") or "calendar"
+        #: C accelerator module when the schedule is a C CalQ, else None.
+        self._accel: Optional[Any] = None
+        self._queue: EventQueue
+        if isinstance(queue, str):
+            if queue == "heap":
+                self._queue = HeapQueue()
+            elif queue == "calendar":
+                if _CQ is not None:
+                    self._queue = _CQ.CalQ()
+                    self._accel = _CQ
+                else:
+                    self._queue = CalendarQueue()
+            else:
+                raise SimulationError(
+                    f"unknown event queue {queue!r} (expected 'heap' or 'calendar')"
+                )
+        else:
+            self._queue = queue
+            if _CQ is not None and isinstance(queue, _CQ.CalQ):
+                self._accel = _CQ
+        if self._accel is not None:
+            # C fast path for sim.timeout(): pooled reset + push without
+            # entering the interpreter.  Shadows the bound method; the
+            # semantics (negative-delay check, pooled field reset) are
+            # mirrored exactly in _cq.c.
+            self.timeout = self._accel.make_timeout(  # type: ignore[method-assign]
+                self, self._queue, self._pool
+            )
 
     # -- clock & introspection ------------------------------------------
 
@@ -483,7 +548,7 @@ class Simulator:
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._heap[0][0] if self._heap else float("inf")
+        return self._queue.peek()
 
     # -- event factories -------------------------------------------------
 
@@ -510,8 +575,7 @@ class Simulator:
             ev.delay = delay
             ev._value = value
             ev._processed = False
-            self._seq += 1
-            heappush(self._heap, (self._now + delay, NORMAL, self._seq, ev))
+            self._queue.push(self._now + delay, NORMAL, ev)
             return ev
         return Timeout(self, delay, value)
 
@@ -535,14 +599,27 @@ class Simulator:
 
     def step(self) -> None:
         """Process the single next event."""
-        heap = self._heap
-        if not heap:
+        q = self._queue
+        band = q.pop_cohort()
+        if band is None:
             raise SimulationError("step() on an empty schedule")
-        t, _prio, _seq, event = heappop(heap)
-        if self._sanitizer is not None:
-            self._sanitizer.on_dispatch(t, _prio, _seq, event)
+        t, prio, events = band
+        event = events[0]
+        events[0] = None
+        san = self._sanitizer
+        if san is not None:
+            self._dispatch_seq += 1
+            san.on_dispatch(t, prio, self._dispatch_seq, event)
         self._now = t
-        event._process()
+        if self._accel is not None:
+            self._queue.now = t
+        try:
+            event._process()
+        finally:
+            # A preempting push mid-dispatch clears the cohort list; only
+            # requeue the untouched remainder.
+            if events:
+                q.requeue_front(t, prio, events)
         pool = self._pool
         if (
             pool is not None
@@ -560,41 +637,80 @@ class Simulator:
         """
         if until is not None and until < self._now:
             raise SimulationError(f"until={until} is in the past (now={self._now})")
-        heap = self._heap
-        pool = self._pool
-        san = self._sanitizer
-        pop = heappop
-        while heap:
-            if until is not None and heap[0][0] > until:
-                self._now = until
-                return until
-            t, _prio, _seq, event = pop(heap)
-            if san is not None:
-                san.on_dispatch(t, _prio, _seq, event)
-            self._now = t
-            if event.__class__ is Timeout:
-                # Inlined Timeout._process: a timeout never fails, so the
-                # failure bookkeeping is skipped on the hot path.
-                callbacks = event.callbacks
-                event.callbacks = None
-                event._processed = True
-                for cb in callbacks:
-                    cb(event)
-                if (
-                    pool is not None
-                    and getrefcount(event) == 2
-                    and len(pool) < _POOL_MAX
-                ):
-                    pool.append(event)
-            else:
-                event._process()
+        if self._accel is not None and self._sanitizer is None:
+            drained = self._accel.run(
+                self,
+                self._queue,
+                self._pool,
+                float("inf") if until is None else until,
+            )
+        else:
+            drained = self._run_py(until)
         if until is not None:
             self._now = max(self._now, until)
-        if san is not None:
+            if self._accel is not None:
+                self._queue.now = self._now
+        if drained and self._sanitizer is not None:
             # The schedule fully drained: anything still alive or held is
             # a leak (daemons excepted).
-            san.on_quiescent(self._now)
+            self._sanitizer.on_quiescent(self._now)
         return self._now
+
+    def _run_py(self, until: Optional[float]) -> bool:
+        """Pure-Python cohort dispatch loop; True when the schedule drained."""
+        q = self._queue
+        pool = self._pool
+        san = self._sanitizer
+        accel = self._accel
+        pop = q.pop_cohort
+        while True:
+            band = pop()
+            if band is None:
+                return True
+            t, prio, events = band
+            if until is not None and t > until:
+                q.requeue_front(t, prio, events)
+                return False
+            self._now = t
+            if accel is not None:
+                q.now = t
+            # Cohort inner loop: the size is re-read every iteration
+            # because a preempting push clears the list in place, and
+            # each slot is nulled *before* dispatch so the event's only
+            # remaining references are local (pool recycling relies on
+            # this, and a requeue after an exception skips it).
+            i = 0
+            while i < len(events):
+                event = events[i]
+                events[i] = None
+                i += 1
+                if san is not None:
+                    self._dispatch_seq += 1
+                    san.on_dispatch(t, prio, self._dispatch_seq, event)
+                if event.__class__ is Timeout:
+                    # Inlined Timeout._process: a timeout never fails, so
+                    # the failure bookkeeping is skipped on the hot path.
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    event._processed = True
+                    try:
+                        for cb in callbacks:  # type: ignore[union-attr]
+                            cb(event)
+                    except BaseException:
+                        q.requeue_front(t, prio, events)
+                        raise
+                    if (
+                        pool is not None
+                        and getrefcount(event) == 2
+                        and len(pool) < _POOL_MAX
+                    ):
+                        pool.append(event)
+                else:
+                    try:
+                        event._process()
+                    except BaseException:
+                        q.requeue_front(t, prio, events)
+                        raise
 
     def run_until_event(self, event: Event, limit: float = float("inf")) -> Any:
         """Run until ``event`` is processed; return its value.
@@ -603,39 +719,119 @@ class Simulator:
         :class:`SimulationError` if the schedule drains or ``limit`` is
         reached first.
         """
-        heap = self._heap
-        pool = self._pool
-        san = self._sanitizer
-        pop = heappop
-        while not event._processed:
-            if not heap:
-                raise SimulationError("schedule drained before event fired (deadlock?)")
-            if heap[0][0] > limit:
-                raise SimulationError(f"time limit {limit} reached before event fired")
-            t, _prio, _seq, ev = pop(heap)
-            if san is not None:
-                san.on_dispatch(t, _prio, _seq, ev)
-            self._now = t
-            if ev.__class__ is Timeout:
-                callbacks = ev.callbacks
-                ev.callbacks = None
-                ev._processed = True
-                for cb in callbacks:
-                    cb(ev)
-                if (
-                    pool is not None
-                    and getrefcount(ev) == 2
-                    and len(pool) < _POOL_MAX
-                ):
-                    pool.append(ev)
-            else:
-                ev._process()
+        if self._accel is not None and self._sanitizer is None:
+            self._accel.run_until(self, self._queue, self._pool, event, limit)
+        else:
+            self._run_until_py(event, limit)
         if not event._ok:
             raise event._value
         return event._value
 
+    def _run_until_py(self, event: Event, limit: float) -> None:
+        q = self._queue
+        pool = self._pool
+        san = self._sanitizer
+        accel = self._accel
+        pop = q.pop_cohort
+        while not event._processed:
+            band = pop()
+            if band is None:
+                raise SimulationError("schedule drained before event fired (deadlock?)")
+            t, prio, events = band
+            if t > limit:
+                q.requeue_front(t, prio, events)
+                raise SimulationError(f"time limit {limit} reached before event fired")
+            self._now = t
+            if accel is not None:
+                q.now = t
+            i = 0
+            while i < len(events):
+                ev = events[i]
+                events[i] = None
+                i += 1
+                if san is not None:
+                    self._dispatch_seq += 1
+                    san.on_dispatch(t, prio, self._dispatch_seq, ev)
+                if ev.__class__ is Timeout:
+                    callbacks = ev.callbacks
+                    ev.callbacks = None
+                    ev._processed = True
+                    try:
+                        for cb in callbacks:  # type: ignore[union-attr]
+                            cb(ev)
+                    except BaseException:
+                        q.requeue_front(t, prio, events)
+                        raise
+                    if (
+                        pool is not None
+                        and getrefcount(ev) == 2
+                        and len(pool) < _POOL_MAX
+                    ):
+                        pool.append(ev)
+                else:
+                    try:
+                        ev._process()
+                    except BaseException:
+                        q.requeue_front(t, prio, events)
+                        raise
+                if event._processed:
+                    if events:
+                        q.requeue_front(t, prio, events)
+                    return
+
     # -- internals ---------------------------------------------------------
 
     def _enqueue(self, event: Event, delay: float, priority: int) -> None:
-        self._seq += 1
-        heappush(self._heap, (self._now + delay, priority, self._seq, event))
+        self._queue.push(self._now + delay, priority, event)
+
+
+# -- C accelerator wiring -------------------------------------------------
+
+
+def _accel_selftest(mod: Any) -> bool:
+    """End-to-end check of the C queue + dispatch pump before trusting it.
+
+    Exercises ordering, join (StopIteration -> URGENT succeed, which
+    preempts the draining NORMAL band), the pooled timeout callable, and
+    the drained return.  Any mismatch or exception disables the
+    accelerator for the process; the pure-Python kernel is always safe.
+    """
+    try:
+        sim = Simulator(sanitize=False, queue=mod.CalQ())
+        if sim._accel is not mod:
+            return False
+        out: list[tuple[float, Any]] = []
+
+        def worker(tag: str, d: float) -> Generator:
+            yield sim.timeout(d)
+            out.append((sim.now, tag))
+
+        def joiner() -> Generator:
+            proc = sim.process(worker("x", 2.0))
+            value = yield proc
+            out.append((sim.now, ("join", value)))
+
+        sim.process(worker("b", 3.0))
+        sim.process(worker("a", 1.0))
+        sim.process(joiner())
+        end = sim.run()
+        expected = [(1.0, "a"), (2.0, "x"), (2.0, ("join", None)), (3.0, "b")]
+        return bool(out == expected and end == 3.0 and len(sim._queue) == 0)
+    except Exception:  # noqa: BLE001 - any failure disables the accelerator
+        return False
+
+
+def _load_accel() -> Optional[Any]:
+    mod = _accel.load()
+    if mod is None:
+        return None
+    try:
+        mod.setup(Event, Timeout, Process, SimulationError)
+    except Exception:  # noqa: BLE001
+        return None
+    return mod
+
+
+_CQ = _load_accel()
+if _CQ is not None and not _accel_selftest(_CQ):
+    _CQ = None

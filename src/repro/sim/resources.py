@@ -107,12 +107,17 @@ class Resource:
 
 
 class _PriorityRequest(_Request):
-    __slots__ = ("priority", "seq")
+    __slots__ = ("priority", "seq", "_queued", "_cancelled")
 
     def __init__(self, resource: "PriorityResource", priority: float, seq: int) -> None:
         super().__init__(resource)
         self.priority = priority
         self.seq = seq
+        #: True while sitting in the wait heap (set False on grant/cancel).
+        self._queued = False
+        #: Lazy-deletion tombstone: cancelled entries stay in the heap and
+        #: are discarded when they surface at dequeue time.
+        self._cancelled = False
 
     def __lt__(self, other: "_PriorityRequest") -> bool:
         return (self.priority, self.seq) < (other.priority, other.seq)
@@ -125,6 +130,7 @@ class PriorityResource(Resource):
         super().__init__(sim, capacity)
         self._pq: list[_PriorityRequest] = []
         self._seq = 0
+        self._n_cancelled = 0
 
     def request(self, priority: float = 0.0) -> _PriorityRequest:  # type: ignore[override]
         self._seq += 1
@@ -143,6 +149,7 @@ class PriorityResource(Resource):
                 wd.on_acquire(self, req)
             req.succeed(req)
         else:
+            req._queued = True
             heapq.heappush(self._pq, req)
         return req
 
@@ -156,14 +163,31 @@ class PriorityResource(Resource):
         try:
             self.users.remove(request)
         except ValueError:
-            try:
-                self._pq.remove(request)  # type: ignore[arg-type]
-                heapq.heapify(self._pq)
+            # Releasing a queued (never-granted) request cancels it: O(1)
+            # lazy tombstone deletion instead of remove()+heapify (O(n)).
+            # The entry stays in the heap and is discarded at dequeue.
+            if (
+                isinstance(request, _PriorityRequest)
+                and request._queued
+                and not request._cancelled
+            ):
+                request._cancelled = True
+                request._queued = False
+                self._n_cancelled += 1
+                # Keep the heap from filling with tombstones under heavy
+                # cancel churn (e.g. deadline-based request retraction).
+                if self._n_cancelled > 64 and self._n_cancelled * 2 > len(self._pq):
+                    self._pq = [r for r in self._pq if not r._cancelled]
+                    heapq.heapify(self._pq)
+                    self._n_cancelled = 0
                 return
-            except ValueError:
-                raise SimulationError("release() of unknown request") from None
+            raise SimulationError("release() of unknown request") from None
         while self._pq and len(self.users) < self.capacity:
             nxt = heapq.heappop(self._pq)
+            if nxt._cancelled:
+                self._n_cancelled -= 1
+                continue
+            nxt._queued = False
             self.users.append(nxt)
             if san is not None:
                 san.on_acquire(self, nxt)

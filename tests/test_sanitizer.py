@@ -3,7 +3,6 @@ of a correct simulation is observably identical to an unsanitized one."""
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import asdict
 
 import pytest
@@ -214,23 +213,24 @@ def test_backwards_time_raises():
 
     sim.process(late())
     drain(sim)
-    # Inject a stale entry dated before the clock: heap discipline broken.
-    heapq.heappush(sim._heap, (2.0, NORMAL, 10**9, sim.event()))
+    # Inject a stale entry dated before the clock: schedule discipline broken.
+    sim._queue.push(2.0, NORMAL, sim.event())
     with pytest.raises(SanitizerError, match="time went backwards"):
         drain(sim)
 
 
 def test_stale_tie_sequence_raises():
+    # The dispatch drivers feed on_dispatch a monotone counter, so this
+    # invariant can only be violated by a buggy driver; validate the
+    # check itself by calling the hook directly.
     sim = Simulator(sanitize=True)
-
-    heapq.heappush(sim._heap, (1.0, NORMAL, 500, sim.event()))
-    drain(sim)
+    san = sim.sanitizer
+    san.on_dispatch(1.0, NORMAL, 500, sim.event())
     # An entry in the same (time, priority) band carrying a sequence number
     # that is not fresher than the last dispatched one -- the signature of a
     # recycled event re-enqueued with its old key.
-    heapq.heappush(sim._heap, (1.0, NORMAL, 499, sim.event()))
     with pytest.raises(SanitizerError, match="tie order violated"):
-        drain(sim)
+        san.on_dispatch(1.0, NORMAL, 499, sim.event())
 
 
 def test_double_dispatch_raises():
@@ -238,7 +238,7 @@ def test_double_dispatch_raises():
     ev = sim.event()
     ev.succeed()
     sim.step()  # processed normally
-    heapq.heappush(sim._heap, (sim.now, NORMAL, sim._seq + 1, ev))  # alias
+    sim._queue.push(sim.now, NORMAL, ev)  # alias
     with pytest.raises(SanitizerError, match="double dispatch"):
         drain(sim)
 

@@ -159,6 +159,81 @@ def test_priority_resource_fifo_within_priority():
     assert order == ["a", "b", "c"]
 
 
+def test_priority_resource_cancelled_request_never_granted():
+    # Cancellation is a lazy tombstone: the entry stays in the wait heap
+    # until it surfaces at dequeue.  It must be skipped there, the slot
+    # must go to the next live waiter, and a second release of the
+    # cancelled request must be rejected.
+    sim = Simulator()
+    res = PriorityResource(sim, capacity=1)
+    order = []
+
+    def holder():
+        req = res.request(priority=0)
+        yield req
+        yield sim.timeout(10)
+        res.release(req)
+
+    def winner():
+        yield sim.timeout(1)
+        req = res.request(priority=5)
+        yield req
+        order.append("winner")
+        res.release(req)
+
+    def quitter():
+        yield sim.timeout(2)
+        req = res.request(priority=1)  # most urgent waiter...
+        yield sim.timeout(3)
+        res.release(req)  # ...retracts before ever being granted
+        with pytest.raises(SimulationError, match="unknown request"):
+            res.release(req)
+        assert not req.processed
+        yield sim.timeout(100)
+        assert not req.processed  # tombstone was skipped, never granted
+
+    sim.process(holder())
+    sim.process(winner())
+    sim.process(quitter())
+    sim.run()
+    assert order == ["winner"]
+
+
+def test_priority_resource_mass_cancel_compacts_heap():
+    # Heavy cancel churn triggers the tombstone purge; survivors are
+    # still served in (priority, arrival) order.
+    sim = Simulator()
+    res = PriorityResource(sim, capacity=1)
+    order = []
+
+    def holder():
+        req = res.request(priority=-1)
+        yield req
+        yield sim.timeout(10)
+        res.release(req)
+
+    def survivor(tag, prio):
+        req = res.request(priority=prio)
+        yield req
+        order.append(tag)
+        res.release(req)
+
+    sim.process(holder())
+
+    def churn():
+        yield sim.timeout(1)
+        doomed = [res.request(priority=0) for _ in range(300)]
+        for req in doomed:
+            res.release(req)  # cancel every one while still queued
+        assert len(res._pq) < 300  # compaction actually ran
+
+    sim.process(churn())
+    sim.process(survivor("hi", 1))
+    sim.process(survivor("lo", 2))
+    sim.run()
+    assert order == ["hi", "lo"]
+
+
 # ---------------------------------------------------------------- Store
 
 
