@@ -1,7 +1,7 @@
 PYTHON ?= python
 NPROC ?= $(shell nproc 2>/dev/null || echo 1)
 
-.PHONY: install test test-fast test-heap coverage lint sanitize chaos soak bench bench-fast bench-kernel bench-gate examples results clean
+.PHONY: install test test-fast test-heap coverage lint lint-fast own own-map sanitize chaos soak bench bench-fast bench-kernel bench-gate examples results clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -32,6 +32,19 @@ lint:
 	@$(PYTHON) -c "import mypy" 2>/dev/null \
 		&& $(PYTHON) -m mypy \
 		|| echo "mypy not installed; skipping"
+
+# Lint only the files changed vs the git merge-base (full tree outside
+# a repository) -- the pre-push inner loop.
+lint-fast:
+	PYTHONPATH=src $(PYTHON) -m repro lint --changed
+
+# simown state-ownership gate: fails on unannotated shared-hazard
+# findings (see docs/static_analysis.md).
+own:
+	PYTHONPATH=src $(PYTHON) -m repro ownership --check
+
+own-map:
+	PYTHONPATH=src $(PYTHON) -m repro ownership --out docs/partition_map.json
 
 # Tier-1 tests under coverage (pytest-cov, dev extra); CI fails below
 # 80% line coverage of the repro package.  Skipped when uninstalled.

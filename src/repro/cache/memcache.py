@@ -360,7 +360,7 @@ class GlobalCache:
         # Append is O(1); BTIO-style programs write thousands of tiny
         # ranges per chunk, so full merging on every insert would go
         # quadratic.  Compact periodically; writeback coalesces anyway.
-        chunk.dirty_ranges.append(new)
+        chunk.dirty_ranges.append(new)  # simlint: ignore[SL007] cache-owned payload
         if len(chunk.dirty_ranges) >= 512:
             chunk.dirty_ranges = GlobalCache._compact(chunk.dirty_ranges)
 

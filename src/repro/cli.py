@@ -379,7 +379,22 @@ def cmd_lint(args) -> int:
         lint_argv += ["--select", args.select]
     if args.list_rules:
         lint_argv += ["--list-rules"]
+    if args.changed:
+        lint_argv += ["--changed"]
     return simlint.main(lint_argv)
+
+
+def cmd_ownership(args) -> int:
+    from repro.devtools import ownership
+
+    own_argv = list(args.paths) or ["src/repro"]
+    if args.format != "text":
+        own_argv += ["--format", args.format]
+    if args.out:
+        own_argv += ["--out", args.out]
+    if args.check:
+        own_argv += ["--check"]
+    return ownership.main(own_argv)
 
 
 def cmd_list_workloads(_args) -> int:
@@ -503,7 +518,7 @@ def make_parser() -> argparse.ArgumentParser:
     p_cmp.set_defaults(func=cmd_compare)
 
     p_lint = sub.add_parser(
-        "lint", help="run the simlint determinism rules (SL001-SL006)"
+        "lint", help="run the simlint determinism rules (SL001-SL008)"
     )
     p_lint.add_argument(
         "paths", nargs="*", default=["src"], help="files/directories (default: src)"
@@ -515,7 +530,35 @@ def make_parser() -> argparse.ArgumentParser:
     p_lint.add_argument(
         "--list-rules", action="store_true", help="print the rule catalogue and exit"
     )
+    p_lint.add_argument(
+        "--changed",
+        action="store_true",
+        help="lint only files changed vs the git merge-base (full tree "
+        "outside a repository)",
+    )
     p_lint.set_defaults(func=cmd_lint)
+
+    p_own = sub.add_parser(
+        "ownership",
+        help="simown state-ownership report / partition map (see "
+        "docs/static_analysis.md)",
+    )
+    p_own.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files/directories (default: src/repro)",
+    )
+    p_own.add_argument("--format", choices=["text", "json"], default="text")
+    p_own.add_argument(
+        "--out", default=None, help="write the JSON partition map to this path"
+    )
+    p_own.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero on unannotated shared-hazard findings",
+    )
+    p_own.set_defaults(func=cmd_ownership)
 
     p_lw = sub.add_parser("list-workloads", help="show available workloads")
     p_lw.set_defaults(func=cmd_list_workloads)

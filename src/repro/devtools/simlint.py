@@ -30,6 +30,17 @@ seed:
   Simulated workloads can enqueue without bound; every queue needs a
   ``maxlen``, a charge against a :class:`repro.guard.MemoryBudget`, or
   an ignore comment documenting why its growth is bounded.
+- **SL007** direct mutation of *another* component's container:
+  ``self.server.queue.append(...)``, ``other.pending[k] = v`` -- a
+  mutator call or subscript store whose container lives behind an
+  attribute chain that crosses an object boundary.  Cross-component
+  writes are exactly the shared state that blocks the conservative
+  parallel-DES partitioning (see ``repro.devtools.ownership``); route
+  them through the owner's API or a message, or annotate why not.
+- **SL008** module-level mutable state (``X = []`` / ``{}`` / ``set()``
+  / ``deque()``) in simulation packages.  Module globals are shared
+  across every simulation in the process, so mutations leak between
+  supposedly independent cells and across ``runner.parallel`` workers.
 
 Suppress a finding by appending ``# simlint: ignore[SL001]`` (or a
 comma-separated list, or bare ``# simlint: ignore`` for all rules) to
@@ -60,6 +71,7 @@ from typing import Iterable, Iterator, Optional, Sequence, Union
 __all__ = [
     "Finding",
     "RULES",
+    "changed_paths",
     "lint_file",
     "lint_paths",
     "lint_source",
@@ -76,7 +88,34 @@ RULES: dict[str, str] = {
     "SL004": "mutable default argument",
     "SL005": "yield of a non-Event value inside a simulation process generator",
     "SL006": "unbounded deque()/list queue in sim code without a documented budget",
+    "SL007": "direct mutation of another component's container across an object boundary",
+    "SL008": "module-level mutable state in sim code (shared across simulations)",
 }
+
+#: Attributes exempt from SL007: ``Event.callbacks`` is the kernel's
+#: documented registration surface -- appending a completion callback is
+#: how every component consumes events, not shared-state mutation.
+_SL007_EXEMPT_ATTRS = frozenset({"callbacks"})
+
+#: Method names whose call mutates the receiving container (SL007).
+_SL007_MUTATORS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "add",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popleft",
+        "popitem",
+        "push",
+        "remove",
+        "setdefault",
+        "update",
+    }
+)
 
 #: Subpackages of ``repro`` where SL001/SL006 apply (simulation code).
 SIM_PACKAGES = frozenset(
@@ -296,6 +335,15 @@ class _LintVisitor(ast.NodeVisitor):
         self.wallclock_exempt = wallclock_exempt
         self.select = select
         self.set_attrs = set_attrs
+        # SL007 never applies inside the event kernel: Simulator, Event,
+        # and the queue disciplines are one shared unit by construction
+        # (the "kernel" domain of repro.devtools.ownership).
+        parts = PurePath(path).parts
+        self._kernel_scope = (
+            "repro" in parts
+            and parts.index("repro") + 1 < len(parts)
+            and parts[parts.index("repro") + 1] == "sim"
+        )
         self.findings: list[Finding] = []
         # import tracking
         self._time_modules: set[str] = set()
@@ -309,6 +357,11 @@ class _LintVisitor(ast.NodeVisitor):
         self._numpy_random_funcs: set[str] = set()
         # SL001 per-function scopes: name -> is a (non-literal) set
         self._scopes: list[dict[str, bool]] = [{}]
+        # SL007: locals bound to objects constructed in this function
+        # (mutating a value object you just built is not cross-component)
+        self._constructed: list[set[str]] = [set()]
+        # SL008: nesting depth (0 = module level)
+        self._def_depth = 0
 
     # -- helpers --------------------------------------------------------
 
@@ -382,8 +435,17 @@ class _LintVisitor(ast.NodeVisitor):
         self._check_defaults(node)
         self._check_process_yields(node)
         self._scopes.append({})
+        self._constructed.append(set())
+        self._def_depth += 1
         self.generic_visit(node)
+        self._def_depth -= 1
+        self._constructed.pop()
         self._scopes.pop()
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._def_depth += 1
+        self.generic_visit(node)
+        self._def_depth -= 1
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._visit_function(node)
@@ -466,12 +528,124 @@ class _LintVisitor(ast.NodeVisitor):
             return self._is_set_expr(node.left) or self._is_set_expr(node.right)
         return False
 
+    # -- SL007/SL008 helpers --------------------------------------------
+
+    @staticmethod
+    def _is_mutable_container(value: ast.expr) -> bool:
+        if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                              ast.SetComp, ast.DictComp)):
+            return True
+        if isinstance(value, ast.Call):
+            fn = value.func
+            name = fn.id if isinstance(fn, ast.Name) else (
+                fn.attr if isinstance(fn, ast.Attribute) else ""
+            )
+            return name in _MUTABLE_FACTORY_NAMES
+        return False
+
+    @staticmethod
+    def _chain_root(expr: ast.expr) -> Optional[str]:
+        """Base name of an attribute/subscript chain, or None."""
+        while isinstance(expr, (ast.Attribute, ast.Subscript)):
+            expr = expr.value
+        return expr.id if isinstance(expr, ast.Name) else None
+
+    def _foreign_container(self, container: ast.expr) -> Optional[str]:
+        """Rendered source of ``container`` when it is *another*
+        component's state (an attribute chain crossing an object
+        boundary), else None.
+
+        ``self.queue`` is own state; ``self.server.queue`` and
+        ``other.queue`` are foreign; locals constructed in this function
+        (fresh value objects) or aliased from ``self.*`` (own subtree,
+        e.g. ``st = self._streams[sid]``) are exempt.
+        """
+        if self._kernel_scope:
+            return None
+        while isinstance(container, ast.Subscript):
+            container = container.value
+        if not isinstance(container, ast.Attribute):
+            return None
+        if container.attr in _SL007_EXEMPT_ATTRS:
+            return None
+        base = container.value
+        while isinstance(base, (ast.Subscript, ast.Call)):
+            base = base.value if isinstance(base, ast.Subscript) else base.func
+        if isinstance(base, ast.Name):
+            if base.id in ("self", "cls"):
+                return None
+            if any(base.id in s for s in self._constructed):
+                return None
+            return ast.unparse(container)
+        if isinstance(base, ast.Attribute):
+            return ast.unparse(container)
+        return None
+
+    def _check_sl007_store(self, target: ast.expr) -> None:
+        if not self.sim_scope or not isinstance(target, ast.Subscript):
+            return
+        foreign = self._foreign_container(target.value)
+        if foreign is not None:
+            self._add(
+                "SL007",
+                target,
+                f"subscript store into another component's container "
+                f"`{foreign}`; route through the owner's API or a message "
+                "(see repro.devtools.ownership)",
+            )
+
+    def _check_sl008(self, target: ast.expr, value: ast.expr,
+                     node: ast.stmt) -> None:
+        if not self.sim_scope or self._def_depth != 0:
+            return
+        if not isinstance(target, ast.Name) or target.id.startswith("__"):
+            return
+        if self._is_mutable_container(value):
+            self._add(
+                "SL008",
+                node,
+                f"module-level mutable state `{target.id}` is shared by every "
+                "simulation in the process; make it immutable "
+                "(tuple/frozenset/Mapping) or move it onto an instance",
+            )
+
+    def _track_alias(self, name: str, value: ast.expr) -> None:
+        """Record locals that SL007 may treat as own state: freshly
+        constructed objects, aliases of self's own subtree
+        (``st = self._streams[k]``), and results of own accessor calls
+        (``cyc = self._ensure_cycle()``, ``st = self._streams.get(k)``)."""
+        if isinstance(value, ast.Call):
+            fn = value.func
+            ctor = fn.id if isinstance(fn, ast.Name) else (
+                fn.attr if isinstance(fn, ast.Attribute) else ""
+            )
+            if ctor[:1].isupper() or ctor in _MUTABLE_FACTORY_NAMES:
+                self._constructed[-1].add(name)
+            elif self._chain_root(fn) in ("self", "cls"):
+                self._constructed[-1].add(name)
+        elif self._is_mutable_container(value):
+            self._constructed[-1].add(name)
+        elif self._chain_root(value) in ("self", "cls"):
+            self._constructed[-1].add(name)
+
     def visit_Assign(self, node: ast.Assign) -> None:
         is_set = self._is_set_expr(node.value)
         for target in node.targets:
             if isinstance(target, ast.Name):
                 self._scopes[-1][target.id] = is_set
+                self._track_alias(target.id, node.value)
+            elif (
+                isinstance(target, ast.Tuple)
+                and isinstance(node.value, ast.Tuple)
+                and len(target.elts) == len(node.value.elts)
+            ):
+                # `a, b = self._units[i], self._units[j]` aliases pairwise.
+                for elt, val in zip(target.elts, node.value.elts):
+                    if isinstance(elt, ast.Name):
+                        self._track_alias(elt.id, val)
             self._check_list_queue(target, node.value)
+            self._check_sl007_store(target)
+            self._check_sl008(target, node.value, node)
         self.generic_visit(node)
 
     def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
@@ -482,6 +656,8 @@ class _LintVisitor(ast.NodeVisitor):
             self._scopes[-1][node.target.id] = is_set
         if node.value is not None:
             self._check_list_queue(node.target, node.value)
+            self._check_sl008(node.target, node.value, node)
+        self._check_sl007_store(node.target)
         self.generic_visit(node)
 
     def visit_AugAssign(self, node: ast.AugAssign) -> None:
@@ -489,6 +665,7 @@ class _LintVisitor(ast.NodeVisitor):
         if isinstance(node.target, ast.Name) and isinstance(node.op, ast.BitOr):
             if self._is_set_expr(node.value):
                 self._scopes[-1][node.target.id] = True
+        self._check_sl007_store(node.target)
         self.generic_visit(node)
 
     def _set_iter_reason(self, it: ast.expr) -> Optional[str]:
@@ -501,6 +678,27 @@ class _LintVisitor(ast.NodeVisitor):
         if isinstance(it, (ast.Set, ast.SetComp, ast.BinOp, ast.Name)):
             if self._is_set_expr(it):
                 return "a set-typed value"
+        if isinstance(it, ast.BinOp) and isinstance(
+            it.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+        ):
+            # Set algebra directly in the iterable: even when neither
+            # operand is provably set-typed, `a & b` / `a | b` in an
+            # iterable position is overwhelmingly a set (or hash-ordered
+            # dict-keys view) expression.  Pure-constant literal unions
+            # pass, matching the literal-set carve-out above.
+            def _const_set(e: ast.expr) -> bool:
+                return isinstance(e, ast.Set) and all(
+                    isinstance(x, ast.Constant) for x in e.elts
+                )
+
+            if not (_const_set(it.left) and _const_set(it.right)):
+                op = {
+                    ast.BitOr: "|",
+                    ast.BitAnd: "&",
+                    ast.BitXor: "^",
+                    ast.Sub: "-",
+                }[type(it.op)]
+                return f"a set-algebra expression (`a {op} b`)"
         if isinstance(it, ast.Attribute) and self._is_set_expr(it):
             return f"set-typed attribute .{it.attr}"
         return None
@@ -591,6 +789,21 @@ class _LintVisitor(ast.NodeVisitor):
     def visit_Call(self, node: ast.Call) -> None:
         self._check_deque(node)
         func = node.func
+        # SL007 -- mutator call on another component's container.
+        if (
+            self.sim_scope
+            and isinstance(func, ast.Attribute)
+            and func.attr in _SL007_MUTATORS
+        ):
+            foreign = self._foreign_container(func.value)
+            if foreign is not None:
+                self._add(
+                    "SL007",
+                    node,
+                    f"mutator .{func.attr}() on another component's container "
+                    f"`{foreign}`; route through the owner's API or a message "
+                    "(see repro.devtools.ownership)",
+                )
         # SL002 -- wall-clock reads.
         if not self.wallclock_exempt:
             if isinstance(func, ast.Name) and func.id in self._time_funcs:
@@ -760,6 +973,56 @@ def lint_paths(
     return findings
 
 
+def changed_paths(paths: Sequence[Union[str, Path]]) -> Optional[list[Path]]:
+    """Files under ``paths`` changed vs the git merge-base with the
+    default branch (plus working-tree and untracked changes).
+
+    Returns None when git is unavailable or the tree is not a repo --
+    the caller falls back to linting the full set.
+    """
+    import subprocess
+
+    def run(*args: str) -> Optional[str]:
+        try:
+            r = subprocess.run(
+                ["git", *args], capture_output=True, text=True, timeout=30
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        return r.stdout if r.returncode == 0 else None
+
+    top = run("rev-parse", "--show-toplevel")
+    if top is None:
+        return None
+    root = Path(top.strip())
+    base = "HEAD"
+    for ref in ("origin/HEAD", "origin/main", "origin/master", "main", "master"):
+        out = run("merge-base", "HEAD", ref)
+        if out is not None:
+            base = out.strip()
+            break
+    changed: set[str] = set()
+    diff = run("diff", "--name-only", "--diff-filter=d", base)
+    if diff is None:
+        return None
+    changed.update(line for line in diff.splitlines() if line)
+    untracked = run("ls-files", "--others", "--exclude-standard")
+    if untracked is not None:
+        changed.update(line for line in untracked.splitlines() if line)
+
+    wanted = [Path(p).resolve() for p in paths]
+    out_files: list[Path] = []
+    for rel in sorted(changed):
+        f = (root / rel).resolve()
+        if f.suffix != ".py" or not f.is_file():
+            continue
+        for w in wanted:
+            if f == w or w in f.parents:
+                out_files.append(f)
+                break
+    return out_files
+
+
 def render_text(findings: Sequence[Finding]) -> str:
     if not findings:
         return "simlint: no findings"
@@ -783,7 +1046,7 @@ def render_json(findings: Sequence[Finding]) -> str:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="simlint",
-        description="determinism lint for simulation code (rules SL001-SL006)",
+        description="determinism lint for simulation code (rules SL001-SL008)",
     )
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
@@ -795,6 +1058,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help="lint only files changed vs the git merge-base with the "
+        "default branch (full tree when not in a repo)",
+    )
     args = parser.parse_args(argv)
     if args.list_rules:
         for rule, desc in RULES.items():
@@ -805,8 +1074,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.select
         else None
     )
+    lint_targets: Sequence[Union[str, Path]] = args.paths
+    if args.changed:
+        subset = changed_paths(args.paths)
+        if subset is not None:
+            lint_targets = subset
     try:
-        findings = lint_paths(args.paths, select=select)
+        findings = lint_paths(lint_targets, select=select)
     except ValueError as exc:
         parser.error(str(exc))
     print(render_json(findings) if args.format == "json" else render_text(findings))

@@ -16,14 +16,17 @@ publishes a ``faults.ds{i}.health`` gauge (1 up / 0.5 slow / 0 down).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from types import MappingProxyType
+from typing import TYPE_CHECKING, Mapping, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.core import Event, Simulator
 
 __all__ = ["ServerHealth"]
 
-_GAUGE_VALUE = {"up": 1.0, "slow": 0.5, "down": 0.0}
+_GAUGE_VALUE: Mapping[str, float] = MappingProxyType(
+    {"up": 1.0, "slow": 0.5, "down": 0.0}
+)
 
 
 class ServerHealth:

@@ -27,6 +27,7 @@ sender (e.g. compute-node cache traffic) forever.
 from __future__ import annotations
 
 import json
+import random
 from dataclasses import asdict, dataclass, field, fields
 from typing import Any, Optional
 
@@ -107,7 +108,7 @@ class RetryPolicy:
         """Request timeout for a payload of ``nbytes``."""
         return self.base_timeout_s + nbytes * self.timeout_per_byte_s
 
-    def backoff_s(self, attempt: int, rng=None) -> float:
+    def backoff_s(self, attempt: int, rng: Optional["random.Random"] = None) -> float:
         """Sleep before retry number ``attempt`` (1-based).
 
         With ``backoff_jitter="full"`` and an ``rng`` (the injector's

@@ -17,7 +17,8 @@ calls the engine already makes, so guard-off runs are untouched.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from types import MappingProxyType
+from typing import TYPE_CHECKING, Any, Mapping, Optional
 
 from repro.guard.config import GuardConfig
 from repro.sim import Simulator
@@ -31,7 +32,7 @@ CLOSED = "closed"
 OPEN = "open"
 HALF_OPEN = "half-open"
 
-_STATE_LEVEL = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+_STATE_LEVEL: Mapping[str, int] = MappingProxyType({CLOSED: 0, HALF_OPEN: 1, OPEN: 2})
 
 
 class CircuitBreaker:
@@ -42,8 +43,8 @@ class CircuitBreaker:
         sim: Simulator,
         config: Optional[GuardConfig] = None,
         registry: Optional["MetricsRegistry"] = None,
-        tracer=None,
-    ):
+        tracer: Optional[Any] = None,
+    ) -> None:
         cfg = config or GuardConfig()
         self.sim = sim
         self.failure_threshold = cfg.breaker_failures

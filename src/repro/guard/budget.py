@@ -35,7 +35,7 @@ class MemoryBudget:
         self,
         config: Optional[GuardConfig] = None,
         registry: Optional["MetricsRegistry"] = None,
-    ):
+    ) -> None:
         cfg = config or GuardConfig()
         self.job_cap_bytes = cfg.job_cap_bytes
         self.node_cap_bytes = cfg.node_cap_bytes

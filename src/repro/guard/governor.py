@@ -31,7 +31,7 @@ the rest of the stack sees (``system.guard``, ``cache.budget``, ...).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Any, Optional
 
 from repro.guard.breaker import CircuitBreaker
 from repro.guard.budget import MemoryBudget
@@ -53,7 +53,7 @@ DEGRADED = "degraded"
 class JobGovernor:
     """Hysteresis state machine governing one job's execution mode."""
 
-    def __init__(self, guard: "SafetyGovernor", engine: "DualParEngine"):
+    def __init__(self, guard: "SafetyGovernor", engine: "DualParEngine") -> None:
         self.guard = guard
         self.engine = engine
         self.sim = guard.sim
@@ -232,7 +232,7 @@ class JobGovernor:
 class SafetyGovernor:
     """Umbrella over budget, breaker, watchdog, and per-job governors."""
 
-    def __init__(self, sim: Simulator, config: Optional[GuardConfig] = None):
+    def __init__(self, sim: Simulator, config: Optional[GuardConfig] = None) -> None:
         self.sim = sim
         self.config = config or GuardConfig()
         obs = sim.obs
@@ -269,7 +269,12 @@ class SafetyGovernor:
 
     # -- wiring ----------------------------------------------------------
 
-    def attach(self, dualpar=None, runtime=None, cluster=None) -> None:
+    def attach(
+        self,
+        dualpar: Optional[Any] = None,
+        runtime: Optional[Any] = None,
+        cluster: Optional[Any] = None,
+    ) -> None:
         """Install the guard's hooks into an experiment's components.
 
         Every hook defaults to None in its host object, so anything not

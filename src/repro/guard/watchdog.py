@@ -28,7 +28,7 @@ tracked.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Iterator, Optional
 
 from repro.sim import Process, Simulator, Timeout
 
@@ -87,9 +87,9 @@ class StallWatchdog:
         sim: Simulator,
         interval_s: float = 1.0,
         stall_window_s: float = 5.0,
-        registry=None,
-        tracer=None,
-    ):
+        registry: Optional[Any] = None,
+        tracer: Optional[Any] = None,
+    ) -> None:
         if interval_s <= 0 or stall_window_s <= 0:
             raise ValueError("watchdog windows must be positive")
         if sim._watchdog is not None:
@@ -161,7 +161,7 @@ class StallWatchdog:
 
     # -- the detector -----------------------------------------------------
 
-    def _run(self):
+    def _run(self) -> Iterator[Any]:
         sim = self.sim
         while True:
             yield sim.timeout(self.interval_s)

@@ -16,6 +16,9 @@ that machinery:
   :class:`AnticipatoryScheduler`.
 """
 
+from types import MappingProxyType
+from typing import Mapping
+
 from repro.iosched.base import IoScheduler, SchedDecision
 from repro.iosched.blocklayer import BlockLayer, BlockLayerStats
 from repro.iosched.cfq import CfqScheduler
@@ -37,12 +40,14 @@ __all__ = [
     "SchedDecision",
 ]
 
-SCHEDULERS = {
-    "noop": NoopScheduler,
-    "deadline": DeadlineScheduler,
-    "cfq": CfqScheduler,
-    "anticipatory": AnticipatoryScheduler,
-}
+SCHEDULERS: Mapping[str, type[IoScheduler]] = MappingProxyType(
+    {
+        "noop": NoopScheduler,
+        "deadline": DeadlineScheduler,
+        "cfq": CfqScheduler,
+        "anticipatory": AnticipatoryScheduler,
+    }
+)
 
 
 def make_scheduler(name: str, **kwargs) -> IoScheduler:

@@ -211,6 +211,7 @@ class PfsClient:
                 offset=offset,
                 length=length,
                 pieces=len(pieces),
+                lp=f"client:node{self.node_id}",
             ):
                 yield all_of(self.sim, procs)
         else:

@@ -143,6 +143,24 @@ class DataServer:
         self._tracer = sim.obs.tracer if sim.obs.enabled else None
         if sim._sanitizer is not None:
             sim._sanitizer.on_component_registered(f"ds{server_index}")
+        #: Dynamic simown checker (None unless REPRO_SANITIZE_OWNERSHIP=1):
+        #: this server, its block layer, device, and write-back buffer all
+        #: live in one logical process; the daemons adopt it.
+        self._ownership = (
+            sim._sanitizer.ownership if sim._sanitizer is not None else None
+        )
+        if self._ownership is not None:
+            own = self._ownership
+            lp = f"server:ds{server_index}"
+            own.tag(self, lp)
+            own.tag(block_layer, lp)
+            own.tag(device, lp)
+            own.tag(self.page_cache, lp)
+            own.map_node(node_id, lp)
+            own.adopt(block_layer._dispatcher, lp)
+            if self.writeback is not None:
+                own.tag(self.writeback, lp)
+                own.adopt(self.writeback._proc, lp)
 
     def _io_context(self, client_stream: int) -> int:
         return client_stream % self.n_io_threads
@@ -206,10 +224,15 @@ class DataServer:
         under fault injection, a plain process nominally."""
         procs = self._service_procs
         if procs is None:
-            return self.sim.process(gen, name=name)
-        proc = self.sim.process(_absorb_interrupt(gen), name=name)
-        procs[proc] = None
-        proc.callbacks.append(self._untrack)
+            proc = self.sim.process(gen, name=name)
+        else:
+            proc = self.sim.process(_absorb_interrupt(gen), name=name)
+            procs[proc] = None
+            proc.callbacks.append(self._untrack)
+        if self._ownership is not None:
+            # Service work runs in the *server's* LP even though the
+            # spawning call arrives in a client-LP process.
+            self._ownership.adopt(proc, f"server:ds{self.server_index}")
         return proc
 
     def _untrack(self, event) -> None:
@@ -241,6 +264,8 @@ class DataServer:
         A crashed server black-holes the request: the event never fires
         and the fault-aware client's timeout/retry path takes over.
         """
+        if self._ownership is not None:
+            self._ownership.check(self, "handle")
         done = self.sim.event()
         if self.crashed:
             self.n_dropped_requests += 1
@@ -257,6 +282,7 @@ class DataServer:
         san = self.sim._sanitizer
         if san is not None:
             san.on_server_dispatch(self)
+        # simown: shared[namespace read; layout immutable after create]
         f = self.fs.lookup(req.file_name)
         lbn = f.lbn_of(self.server_index, req.object_offset)
         nsectors_total = -(-req.length // 512)
@@ -285,6 +311,7 @@ class DataServer:
         san = self.sim._sanitizer
         if san is not None:
             san.on_server_dispatch(self)
+        # simown: shared[namespace read; layout immutable after create]
         f = self.fs.lookup(req.file_name)
         lbn = f.lbn_of(self.server_index, req.object_offset)
         nsectors_total = -(-req.length // 512)
@@ -312,6 +339,7 @@ class DataServer:
         return completions
 
     def _object_bytes(self, file_name: str) -> int:
+        # simown: shared[namespace read; layout immutable after create]
         f = self.fs.lookup(file_name)
         return f.layout.object_size(f.size, self.server_index)
 
@@ -438,6 +466,7 @@ class DataServer:
                 op=req.op,
                 length=req.length,
                 file=req.file_name,
+                lp=f"server:ds{self.server_index}",
             ):
                 yield sim.timeout(REQUEST_CPU_S)
                 yield from self._perform_io(req)
@@ -462,6 +491,8 @@ class DataServer:
         whole batch at once -- the mechanism DualPar's CRM and collective
         aggregators rely on for deep, sortable queues.
         """
+        if self._ownership is not None:
+            self._ownership.check(self, "handle_list")
         done = self.sim.event()
         if self.crashed:
             self.n_dropped_requests += len(reqs)
@@ -481,6 +512,7 @@ class DataServer:
                 async_=True,
                 pieces=len(reqs),
                 bytes=sum(r.length for r in reqs),
+                lp=f"server:ds{self.server_index}",
             ):
                 yield from self._service_list_body(reqs)
         else:

@@ -470,7 +470,12 @@ class Simulator:
             None if os.environ.get("REPRO_NO_EVENT_POOL") else []
         )
         if sanitize is None:
-            sanitize = bool(os.environ.get("REPRO_SANITIZE"))
+            # Arming the ownership checker implies sanitizing: the
+            # checker rides the sanitizer's process-creation hooks.
+            sanitize = bool(
+                os.environ.get("REPRO_SANITIZE")
+                or os.environ.get("REPRO_SANITIZE_OWNERSHIP")
+            )
         self._sanitizer: Optional["SimSanitizer"]
         if sanitize:
             # Imported lazily: devtools depends on this module.

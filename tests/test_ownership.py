@@ -1,0 +1,498 @@
+"""simown: static ownership analysis fixtures, the golden partition-map
+gate, and the dynamic (runtime) ownership checker."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.devtools.ownership import (
+    analyze_paths,
+    classify,
+    domain_of,
+    main as ownership_main,
+    partition_map,
+    render_text,
+)
+
+REPO = Path(__file__).resolve().parent.parent
+GOLDEN = REPO / "docs" / "partition_map.json"
+
+
+def _fixture_tree(tmp_path: Path, files: dict[str, str]) -> Path:
+    """Write ``files`` (relative to a fake src/repro) and return its root."""
+    root = tmp_path / "src" / "repro"
+    for rel, text in files.items():
+        f = root / rel
+        f.parent.mkdir(parents=True, exist_ok=True)
+        f.write_text(text)
+    return root
+
+
+def _classes(root: Path):
+    return classify(analyze_paths([root]))
+
+
+# ---------------------------------------------------------------------------
+# static pass -- classification fixtures
+# ---------------------------------------------------------------------------
+
+
+class TestStaticClassification:
+    def test_domain_prefixes(self):
+        assert domain_of("pfs.dataserver") == "server"
+        assert domain_of("mpi.runtime") == "client"
+        assert domain_of("core.emc") == "meta"
+        assert domain_of("net.ethernet") == "fabric"
+        assert domain_of("sim.core") == "kernel"
+
+    def test_private_attr_is_lp_private(self, tmp_path):
+        root = _fixture_tree(
+            tmp_path,
+            {
+                "disk/foo.py": (
+                    "class Drive:\n"
+                    "    def __init__(self):\n"
+                    "        self.queue = []\n"
+                    "    def push(self, x):\n"
+                    "        self.queue.append(x)\n"
+                )
+            },
+        )
+        report = _classes(root)
+        assert report.attr_class["Drive"]["queue"] == "lp-private"
+        assert report.hazards == []
+
+    def test_cross_lp_write_is_shared_hazard(self, tmp_path):
+        root = _fixture_tree(
+            tmp_path,
+            {
+                "disk/foo.py": (
+                    "class Drive:\n"
+                    "    def __init__(self):\n"
+                    "        self.mode = 0\n"
+                ),
+                "mpi/bar.py": (
+                    "from repro.disk.foo import Drive\n"
+                    "class Rank:\n"
+                    "    def __init__(self, drive: Drive):\n"
+                    "        self.drive = drive\n"
+                    "    def poke(self):\n"
+                    "        self.drive.mode = 1\n"
+                ),
+            },
+        )
+        report = _classes(root)
+        assert report.attr_class["Drive"]["mode"] == "shared-hazard"
+        assert len(report.unannotated) == 1
+        assert report.unannotated[0].owner == "Drive"
+
+    def test_transfer_mediated_access_is_message_mediated(self, tmp_path):
+        root = _fixture_tree(
+            tmp_path,
+            {
+                "disk/foo.py": (
+                    "class Drive:\n"
+                    "    def __init__(self):\n"
+                    "        self.mode = 0\n"
+                ),
+                "mpi/bar.py": (
+                    "from repro.disk.foo import Drive\n"
+                    "class Rank:\n"
+                    "    def __init__(self, drive: Drive, net):\n"
+                    "        self.drive = drive\n"
+                    "        self.net = net\n"
+                    "    def poke(self):\n"
+                    "        yield from self.net.transfer(0, 1, 64)\n"
+                    "        self.drive.mode = 1\n"
+                ),
+            },
+        )
+        report = _classes(root)
+        assert report.attr_class["Drive"]["mode"] == "message-mediated"
+        assert report.unannotated == []
+
+    def test_simown_annotation_downgrades_hazard(self, tmp_path):
+        root = _fixture_tree(
+            tmp_path,
+            {
+                "disk/foo.py": (
+                    "class Drive:\n"
+                    "    def __init__(self):\n"
+                    "        self.mode = 0\n"
+                ),
+                "mpi/bar.py": (
+                    "from repro.disk.foo import Drive\n"
+                    "class Rank:\n"
+                    "    def __init__(self, drive: Drive):\n"
+                    "        self.drive = drive\n"
+                    "    def poke(self):\n"
+                    "        self.drive.mode = 1  # simown: shared[ctrl msg]\n"
+                ),
+            },
+        )
+        report = _classes(root)
+        assert report.unannotated == []
+        assert len(report.hazards) == 1
+        assert report.hazards[0].annotated == "ctrl msg"
+
+    def test_standalone_annotation_covers_next_line(self, tmp_path):
+        root = _fixture_tree(
+            tmp_path,
+            {
+                "disk/foo.py": (
+                    "class Drive:\n"
+                    "    def __init__(self):\n"
+                    "        self.mode = 0\n"
+                ),
+                "mpi/bar.py": (
+                    "from repro.disk.foo import Drive\n"
+                    "class Rank:\n"
+                    "    def __init__(self, drive: Drive):\n"
+                    "        self.drive = drive\n"
+                    "    def poke(self):\n"
+                    "        # simown: shared[long reason on its own line]\n"
+                    "        self.drive.mode = 1\n"
+                ),
+            },
+        )
+        report = _classes(root)
+        assert report.unannotated == []
+        assert report.hazards[0].annotated == "long reason on its own line"
+
+    def test_cross_lp_call_edge_is_hazard(self, tmp_path):
+        root = _fixture_tree(
+            tmp_path,
+            {
+                "disk/foo.py": (
+                    "class Drive:\n"
+                    "    def __init__(self):\n"
+                    "        self.n = 0\n"
+                    "    def spin(self):\n"
+                    "        self.n += 1\n"
+                ),
+                "mpi/bar.py": (
+                    "from repro.disk.foo import Drive\n"
+                    "class Rank:\n"
+                    "    def __init__(self, drive: Drive):\n"
+                    "        self.drive = drive\n"
+                    "    def poke(self):\n"
+                    "        self.drive.spin()\n"
+                ),
+            },
+        )
+        report = _classes(root)
+        assert any(f.owner == "Drive" for f in report.unannotated)
+
+    def test_payload_classes_exempt_from_hazards(self, tmp_path):
+        root = _fixture_tree(
+            tmp_path,
+            {
+                "mpi/ops.py": (
+                    "class Segment:\n"
+                    "    def __init__(self):\n"
+                    "        self.parts = []\n"
+                ),
+                "disk/foo.py": (
+                    "from repro.mpi.ops import Segment\n"
+                    "class Drive:\n"
+                    "    def chop(self, seg: Segment):\n"
+                    "        seg.parts.append(1)\n"
+                ),
+            },
+        )
+        report = _classes(root)
+        assert report.unannotated == []
+
+    def test_partition_map_is_line_number_free(self, tmp_path):
+        root = _fixture_tree(
+            tmp_path,
+            {
+                "disk/foo.py": (
+                    "class Drive:\n"
+                    "    def __init__(self):\n"
+                    "        self.queue = []\n"
+                    "    def push(self, x):\n"
+                    "        self.queue.append(x)\n"
+                )
+            },
+        )
+        doc = partition_map(_classes(root))
+        assert doc["version"] == 1
+        assert doc["components"]["Drive"]["mutable_attrs"] == {
+            "queue": "lp-private"
+        }
+        assert "line" not in json.dumps(doc)
+
+
+# ---------------------------------------------------------------------------
+# full-tree gates
+# ---------------------------------------------------------------------------
+
+
+def test_full_tree_has_no_unannotated_hazards():
+    """Acceptance gate: every shared-hazard finding carries a
+    ``# simown: shared[reason]`` annotation."""
+
+    report = classify(analyze_paths([REPO / "src" / "repro"]))
+    assert report.unannotated == [], render_text(report)
+
+
+def test_golden_partition_map_matches_tree():
+    """The committed docs/partition_map.json must match the tree.
+
+    On intentional changes regenerate it with
+    ``PYTHONPATH=src python -m repro ownership --out docs/partition_map.json``
+    and review the diff -- a component moving domains or an attribute
+    changing classification is exactly what this gate exists to surface.
+    """
+
+    committed = json.loads(GOLDEN.read_text())
+    current = partition_map(classify(analyze_paths([REPO / "src" / "repro"])))
+    assert current == committed, (
+        "partition map drifted from docs/partition_map.json; regenerate "
+        "with `make own-map` / `repro ownership --out docs/partition_map.json` "
+        "and review the diff"
+    )
+
+
+def test_every_mutable_component_attr_is_classified():
+    report = classify(analyze_paths([REPO / "src" / "repro"]))
+    for name, info in report.graph.classes.items():
+        if info.payload or info.domain not in ("server", "client", "meta"):
+            continue
+        classified = report.attr_class.get(name, {})
+        for attr, ai in info.attrs.items():
+            if ai.mutable:
+                assert attr in classified, f"{name}.{attr} unclassified"
+
+
+class TestCli:
+    def test_ownership_check_passes_on_tree(self, capsys):
+        assert cli_main(["ownership", str(REPO / "src" / "repro"), "--check"]) == 0
+        assert "partition-clean" in capsys.readouterr().out
+
+    def test_ownership_check_fails_on_unannotated_hazard(self, tmp_path, capsys):
+        root = _fixture_tree(
+            tmp_path,
+            {
+                "disk/foo.py": (
+                    "class Drive:\n"
+                    "    def __init__(self):\n"
+                    "        self.mode = 0\n"
+                ),
+                "mpi/bar.py": (
+                    "from repro.disk.foo import Drive\n"
+                    "class Rank:\n"
+                    "    def __init__(self, drive: Drive):\n"
+                    "        self.drive = drive\n"
+                    "    def poke(self):\n"
+                    "        self.drive.mode = 1\n"
+                ),
+            },
+        )
+        assert ownership_main([str(root), "--check"]) == 1
+        assert "unannotated" in capsys.readouterr().out
+
+    def test_out_writes_stable_json(self, tmp_path, capsys):
+        out = tmp_path / "map.json"
+        tree = str(REPO / "src" / "repro")
+        assert cli_main(["ownership", tree, "--out", str(out)]) == 0
+        capsys.readouterr()
+        doc = json.loads(out.read_text())
+        assert doc["version"] == 1
+        assert "components" in doc
+
+    def test_json_format(self, capsys):
+        tree = str(REPO / "src" / "repro")
+        assert cli_main(["ownership", tree, "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert "hazard_sites" in doc
+
+
+# ---------------------------------------------------------------------------
+# dynamic pass -- the runtime ownership checker
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def armed(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE_OWNERSHIP", "1")
+
+
+class TestOwnershipChecker:
+    def test_env_arms_checker_and_implies_sanitize(self, armed):
+        from repro.sim.core import Simulator
+
+        sim = Simulator()
+        assert sim.sanitizer is not None
+        assert sim.sanitizer.ownership is not None
+
+    def test_off_by_default(self, monkeypatch):
+        from repro.sim.core import Simulator
+
+        monkeypatch.delenv("REPRO_SANITIZE_OWNERSHIP", raising=False)
+        sim = Simulator(sanitize=True)
+        assert sim.sanitizer is not None
+        assert sim.sanitizer.ownership is None
+
+    def test_same_lp_and_untagged_pass(self, armed):
+        from repro.sim.core import Simulator
+
+        sim = Simulator()
+        own = sim.sanitizer.ownership
+        box = object()
+        own.tag(box, "server:ds0")
+
+        def proc():
+            own.check(box)  # untagged process: unrestricted
+            yield sim.timeout(1)
+
+        def server_proc():
+            own.check(box)
+            yield sim.timeout(1)
+
+        sim.process(proc(), name="harness")
+        p = sim.process(server_proc(), name="svc")
+        own.adopt(p, "server:ds0")
+        sim.run()
+        assert own.n_checks == 2
+
+    def test_cross_lp_without_message_raises(self, armed):
+        from repro.devtools.sanitizer import OwnershipError
+        from repro.sim.core import Simulator
+
+        sim = Simulator()
+        own = sim.sanitizer.ownership
+        box = object()
+        own.tag(box, "server:ds0")
+
+        def rogue():
+            yield sim.timeout(1)
+            own.check(box)
+
+        p = sim.process(rogue(), name="rogue")
+        own.adopt(p, "client:node9")
+        with pytest.raises(OwnershipError, match="cross-LP"):
+            sim.run()
+
+    def test_message_grant_allows_cross_lp(self, armed):
+        from repro.sim.core import Simulator
+
+        sim = Simulator()
+        own = sim.sanitizer.ownership
+        box = object()
+        own.tag(box, "server:ds0")
+        own.map_node(3, "server:ds0")
+
+        def client():
+            yield sim.timeout(1)
+            own.on_transfer(9, 3)  # a message landed on the server's node
+            own.check(box)
+
+        p = sim.process(client(), name="client")
+        own.adopt(p, "client:node9")
+        sim.run()
+        assert own.n_cross_lp == 1
+
+    def test_child_inherits_creator_lp(self, armed):
+        from repro.sim.core import Simulator
+
+        sim = Simulator()
+        own = sim.sanitizer.ownership
+        seen = []
+
+        def child():
+            yield sim.timeout(1)
+
+        def parent():
+            c = sim.process(child(), name="child")
+            seen.append(own.lp_of_process(c))
+            yield sim.timeout(1)
+
+        p = sim.process(parent(), name="parent")
+        own.adopt(p, "server:ds2")
+        sim.run()
+        assert seen == ["server:ds2"]
+
+
+class TestDynamicIntegration:
+    def test_rogue_direct_handle_raises(self, armed):
+        from repro.cluster import ClusterSpec, build_cluster
+        from repro.devtools.sanitizer import OwnershipError
+        from repro.pfs.dataserver import ServerRequest
+
+        cluster = build_cluster(ClusterSpec(n_compute_nodes=2, n_data_servers=2))
+        sim = cluster.sim
+        own = sim.sanitizer.ownership
+        ds = cluster.data_servers[0]
+
+        def rogue():
+            yield sim.timeout(0.001)
+            # Direct poke: no Network.transfer preceded this access.
+            ds.handle(
+                ServerRequest(
+                    file_name="x", object_offset=0, length=512, op="R", stream_id=0
+                )
+            )
+
+        p = sim.process(rogue(), name="rogue")
+        own.adopt(p, "client:node5")
+        with pytest.raises(OwnershipError, match="cross-LP handle"):
+            sim.run()
+
+    def test_armed_smoke_cell_is_clean(self, armed):
+        from repro import JobSpec, MpiIoTest, run_experiment
+        from repro.cluster import paper_spec
+
+        res = run_experiment(
+            [
+                JobSpec(
+                    "m",
+                    4,
+                    MpiIoTest(file_size=2 * 1024 * 1024, op="R"),
+                    strategy="dualpar",
+                )
+            ],
+            cluster_spec=paper_spec(n_compute_nodes=4),
+        )
+        summary = res.cluster.sim.sanitizer.summary()["ownership"]
+        # The run exercised real cross-LP traffic, all message-granted.
+        assert summary["n_checks"] > 0
+        assert summary["n_cross_lp"] > 0
+        assert res.makespan_s > 0
+
+    def test_armed_run_bit_identical_to_off(self):
+        """Fig3-style smoke cell: armed dynamic checker perturbs nothing."""
+
+        code = (
+            "from repro import JobSpec, MpiIoTest, run_experiment\n"
+            "from repro.cluster import paper_spec\n"
+            "res = run_experiment(\n"
+            "    [JobSpec('m', 4, MpiIoTest(file_size=2 * 1024 * 1024, op='R'),\n"
+            "             strategy='dualpar')],\n"
+            "    cluster_spec=paper_spec(n_compute_nodes=4),\n"
+            ")\n"
+            "print(repr(res.makespan_s))\n"
+            "print(repr([(j.name, j.elapsed_s, j.bytes_read) for j in res.jobs]))\n"
+        )
+        env = {**os.environ, "PYTHONPATH": str(REPO / "src")}
+        env.pop("REPRO_SANITIZE_OWNERSHIP", None)
+        off = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True, env=env
+        )
+        on = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env={**env, "REPRO_SANITIZE_OWNERSHIP": "1"},
+        )
+        assert off.returncode == 0, off.stderr
+        assert on.returncode == 0, on.stderr
+        assert off.stdout == on.stdout

@@ -12,6 +12,7 @@ from repro.cli import main as cli_main
 from repro.devtools.simlint import (
     RULES,
     Finding,
+    changed_paths,
     lint_file,
     lint_paths,
     lint_source,
@@ -20,6 +21,9 @@ from repro.devtools.simlint import (
 )
 
 SIM_PATH = "src/repro/sim/fixture.py"  # profile: sim scope, not wallclock-exempt
+# SL007 exempts the kernel package itself, so cross-component mutation
+# fixtures use a non-kernel sim-scoped path.
+PFS_PATH = "src/repro/pfs/fixture.py"
 
 
 def rules_of(findings: list[Finding]) -> list[str]:
@@ -81,6 +85,28 @@ class TestSL001:
     def test_outside_sim_scope_not_flagged(self):
         src = "def f(xs):\n    for x in set(xs):\n        pass\n"
         assert lint_source(src, "src/repro/workloads/fixture.py") == []
+
+    # Set-algebra expressions directly in the iterable position: the
+    # operands' types are unknown, but `for x in a | b` over sets is the
+    # classic nondeterministic-iteration bug, so it flags.
+    @pytest.mark.parametrize("expr", ["a | b", "a & b", "a ^ b", "a - b"])
+    def test_set_algebra_in_for_flagged(self, expr):
+        src = f"def f(a, b):\n    for x in {expr}:\n        pass\n"
+        assert rules_of(lint_source(src, SIM_PATH)) == ["SL001"]
+
+    def test_set_cast_of_union_flagged(self):
+        src = "def f(a, b):\n    for x in set(a | b):\n        pass\n"
+        assert rules_of(lint_source(src, SIM_PATH)) == ["SL001"]
+
+    def test_constant_literal_union_is_clean(self):
+        # Both operands are constant literals -- same carve-out as the
+        # plain constant-set iterable.
+        src = "def f():\n    for x in {1, 2} | {3}:\n        pass\n"
+        assert lint_source(src, SIM_PATH) == []
+
+    def test_sorted_union_is_clean(self):
+        src = "def f(a, b):\n    for x in sorted(a | b):\n        pass\n"
+        assert lint_source(src, SIM_PATH) == []
 
 
 # ---------------------------------------------------------------------------
@@ -207,21 +233,34 @@ class TestSL005:
 
 class TestSL006:
     def test_unbounded_deque_flagged(self):
+        # A module-level deque is both unbounded (SL006) and shared
+        # module state (SL008).
         src = "from collections import deque\nq = deque()\n"
-        assert rules_of(lint_source(src, SIM_PATH)) == ["SL006"]
+        assert sorted(rules_of(lint_source(src, SIM_PATH))) == ["SL006", "SL008"]
 
     def test_module_form_deque_flagged(self):
         src = "import collections\nq = collections.deque()\n"
+        assert sorted(rules_of(lint_source(src, SIM_PATH))) == ["SL006", "SL008"]
+
+    def test_instance_deque_flagged_without_sl008(self):
+        src = (
+            "from collections import deque\n"
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self.queue = deque()\n"
+        )
         assert rules_of(lint_source(src, SIM_PATH)) == ["SL006"]
 
     def test_maxlen_deque_clean(self):
+        # Bounded for SL006's purposes (the module-level binding itself
+        # still trips SL008, so select the rule under test).
         src = "from collections import deque\nq = deque(maxlen=64)\n"
-        assert lint_source(src, SIM_PATH) == []
+        assert lint_source(src, SIM_PATH, select=["SL006"]) == []
 
     def test_two_arg_deque_clean(self):
         # deque(iterable, maxlen) positional form is bounded.
         src = "from collections import deque\nq = deque([], 64)\n"
-        assert lint_source(src, SIM_PATH) == []
+        assert lint_source(src, SIM_PATH, select=["SL006"]) == []
 
     def test_queueish_list_attribute_flagged(self):
         src = (
@@ -264,6 +303,131 @@ class TestSL006:
             "        self.queue = []  # simlint: ignore[SL006] drained per tick\n"
         )
         assert lint_source(src, SIM_PATH) == []
+
+
+# ---------------------------------------------------------------------------
+# SL007 -- cross-component direct mutation
+# ---------------------------------------------------------------------------
+
+
+class TestSL007:
+    def test_foreign_mutator_call_flagged(self):
+        src = "class C:\n    def f(self, other):\n        other.queue.append(1)\n"
+        assert rules_of(lint_source(src, PFS_PATH)) == ["SL007"]
+
+    def test_self_chain_crossing_object_flagged(self):
+        # `self.server` is another component stored on self; mutating its
+        # queue bypasses the owner's API.
+        src = "class C:\n    def f(self):\n        self.server.queue.append(1)\n"
+        assert rules_of(lint_source(src, PFS_PATH)) == ["SL007"]
+
+    def test_foreign_subscript_store_flagged(self):
+        src = "class C:\n    def f(self, other, k, v):\n        other.table[k] = v\n"
+        assert rules_of(lint_source(src, PFS_PATH)) == ["SL007"]
+
+    def test_own_state_clean(self):
+        src = "class C:\n    def f(self):\n        self.queue.append(1)\n"
+        assert lint_source(src, PFS_PATH) == []
+
+    def test_own_accessor_result_clean(self):
+        # A local returned by one of self's own methods is own subtree
+        # state (`cyc = self._ensure_cycle(); cyc.blocked.add(r)`).
+        src = (
+            "class C:\n"
+            "    def f(self):\n"
+            "        st = self._get()\n"
+            "        st.queue.append(1)\n"
+        )
+        assert lint_source(src, PFS_PATH) == []
+
+    def test_self_alias_clean(self):
+        src = (
+            "class C:\n"
+            "    def f(self, sid):\n"
+            "        st = self._streams[sid]\n"
+            "        st.queue.append(1)\n"
+        )
+        assert lint_source(src, PFS_PATH) == []
+
+    def test_tuple_unpack_alias_clean(self):
+        src = (
+            "class C:\n"
+            "    def f(self, i):\n"
+            "        a, b = self.units[i], self.units[i + 1]\n"
+            "        a.parts.extend(b.parts)\n"
+        )
+        assert lint_source(src, PFS_PATH) == []
+
+    def test_constructed_local_clean(self):
+        src = (
+            "class C:\n"
+            "    def f(self):\n"
+            "        req = Request()\n"
+            "        req.parts.append(1)\n"
+        )
+        assert lint_source(src, PFS_PATH) == []
+
+    def test_callbacks_registration_exempt(self):
+        # Appending to .callbacks is the kernel's documented registration
+        # API, not a state grab.
+        src = "class C:\n    def f(self, proc):\n        proc.callbacks.append(self.done)\n"
+        assert lint_source(src, PFS_PATH) == []
+
+    def test_kernel_package_exempt(self):
+        src = "class C:\n    def f(self, other):\n        other.queue.append(1)\n"
+        assert lint_source(src, SIM_PATH) == []
+
+    def test_ignore_comment(self):
+        src = (
+            "class C:\n"
+            "    def f(self, other):\n"
+            "        other.queue.append(1)  # simlint: ignore[SL007] same-LP payload\n"
+        )
+        assert lint_source(src, PFS_PATH) == []
+
+
+# ---------------------------------------------------------------------------
+# SL008 -- module-level mutable state
+# ---------------------------------------------------------------------------
+
+
+class TestSL008:
+    @pytest.mark.parametrize(
+        "binding",
+        [
+            "REG = {'a': 1}",
+            "REG = []",
+            "REG = set()",
+            "REG: dict = {}",
+            "REG = [x for x in range(3)]",
+        ],
+    )
+    def test_module_mutable_binding_flagged(self, binding):
+        assert rules_of(lint_source(binding + "\n", PFS_PATH)) == ["SL008"]
+
+    def test_mappingproxy_clean(self):
+        src = "from types import MappingProxyType\nREG = MappingProxyType({'a': 1})\n"
+        assert lint_source(src, PFS_PATH) == []
+
+    def test_immutable_constants_clean(self):
+        src = "A = ('x', 'y')\nB = frozenset({'x'})\nC = 3\n"
+        assert lint_source(src, PFS_PATH) == []
+
+    def test_class_attribute_not_flagged(self):
+        src = "class C:\n    REG = {}\n"
+        assert lint_source(src, PFS_PATH) == []
+
+    def test_function_local_not_flagged(self):
+        src = "def f():\n    reg = {}\n    return reg\n"
+        assert lint_source(src, PFS_PATH) == []
+
+    def test_dunder_exempt(self):
+        src = "__all__ = ['a']\n"
+        assert lint_source(src, PFS_PATH) == []
+
+    def test_outside_sim_scope_clean(self):
+        src = "REG = {}\n"
+        assert lint_source(src, "src/repro/workloads/fixture.py") == []
 
 
 # ---------------------------------------------------------------------------
@@ -354,6 +518,53 @@ class TestReporting:
         assert cli_main(["lint", str(dirty), "--format", "json"]) == 1
         doc = json.loads(capsys.readouterr().out)
         assert doc["counts"] == {"SL004": 1}
+
+
+class TestChangedPaths:
+    """`repro lint --changed` lints only files modified vs the merge-base."""
+
+    @staticmethod
+    def _git(cwd, *args):
+        import subprocess
+
+        r = subprocess.run(
+            ["git", "-c", "user.name=t", "-c", "user.email=t@t", *args],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+        )
+        assert r.returncode == 0, r.stderr
+        return r.stdout
+
+    def test_only_modified_and_untracked_returned(self, tmp_path, monkeypatch):
+        pkg = tmp_path / "src" / "repro" / "pfs"
+        pkg.mkdir(parents=True)
+        committed = pkg / "clean.py"
+        committed.write_text("def f(x=None):\n    pass\n")
+        self._git(tmp_path, "init", "-q", "-b", "main")
+        self._git(tmp_path, "add", ".")
+        self._git(tmp_path, "commit", "-q", "-m", "seed")
+        modified = pkg / "touched.py"
+        modified.write_text("def g(y=[]):\n    pass\n")  # untracked + dirty
+        monkeypatch.chdir(tmp_path)
+        subset = changed_paths([tmp_path / "src"])
+        assert subset is not None
+        assert [p.name for p in subset] == ["touched.py"]
+        findings = lint_paths(subset)
+        assert rules_of(findings) == ["SL004"]
+
+    def test_outside_repo_returns_none(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setenv("GIT_CEILING_DIRECTORIES", str(tmp_path.parent))
+        assert changed_paths([tmp_path]) is None
+
+    def test_cli_changed_falls_back_to_full_tree(self, tmp_path, monkeypatch):
+        # Outside a repository --changed lints the full argument set.
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setenv("GIT_CEILING_DIRECTORIES", str(tmp_path.parent))
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("def f(x=[]):\n    pass\n")
+        assert cli_main(["lint", str(dirty), "--changed"]) == 1
 
 
 def test_full_tree_is_clean():
