@@ -1,7 +1,7 @@
 PYTHON ?= python
 NPROC ?= $(shell nproc 2>/dev/null || echo 1)
 
-.PHONY: install test test-fast test-heap coverage lint lint-fast own own-map sanitize chaos soak bench bench-fast bench-kernel bench-gate examples results clean
+.PHONY: install test test-fast test-heap test-pdes coverage lint lint-fast own own-map sanitize chaos soak bench bench-fast bench-kernel bench-gate bench-pdes pdes-gate ci-local examples results clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -88,6 +88,36 @@ bench-kernel:
 # 25% below benchmarks/results/BENCH_kernel.baseline.json.
 bench-gate:
 	$(PYTHON) benchmarks/check_regression.py
+
+# PDES unit/property/determinism suite (conservative parallel DES).
+test-pdes:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_pdes.py -q
+
+# PDES speedup bench: sharded cell at 1/2/4/8 workers vs serial;
+# writes benchmarks/out/BENCH_pdes.json (PROFILE=ci for the small cell).
+PROFILE ?= full
+bench-pdes:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_pdes.py --profile $(PROFILE)
+
+# PDES regression gate: runs the ci-profile bench and fails when the
+# serial rate or any worker leg's speedup drops >25% vs
+# benchmarks/results/BENCH_pdes.baseline.json.
+pdes-gate:
+	PYTHONPATH=src $(PYTHON) benchmarks/check_pdes.py
+
+# Replay the CI gates locally: lint legs, tier-1 tests, the determinism
+# jobs' suites, the pdes worker-count matrix, and both bench gates.
+ci-local: lint own
+	PYTHONPATH=src $(PYTHON) -m pytest tests/ -q
+	PYTHONPATH=src $(PYTHON) -m pytest -q tests/test_determinism.py tests/test_parallel_runner.py
+	REPRO_SANITIZE=1 PYTHONPATH=src $(PYTHON) -m pytest -q tests/test_determinism.py tests/test_sanitizer.py
+	REPRO_SANITIZE_OWNERSHIP=1 PYTHONPATH=src $(PYTHON) -m pytest -q tests/test_determinism.py tests/test_ownership.py
+	for w in 1 2 4 8; do \
+		REPRO_SIM_WORKERS=$$w PYTHONPATH=src $(PYTHON) -m repro pdes --verify || exit 1; \
+	done
+	REPRO_SANITIZE_OWNERSHIP=1 REPRO_SIM_WORKERS=2 PYTHONPATH=src $(PYTHON) -m repro pdes --verify
+	$(PYTHON) benchmarks/check_regression.py
+	PYTHONPATH=src $(PYTHON) benchmarks/check_pdes.py
 
 # Regenerate the archived outputs referenced by EXPERIMENTS.md.
 results:

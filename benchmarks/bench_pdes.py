@@ -1,0 +1,142 @@
+"""PDES speedup bench: one sharded cell at 1/2/4/8 workers vs serial.
+
+Runs the :mod:`repro.sim.pdes` cell (a fig3-style read striped over many
+data servers) once serially and once per worker count, measures wall
+time and events/sec, and writes ``benchmarks/out/BENCH_pdes.json``::
+
+    PYTHONPATH=src python benchmarks/bench_pdes.py                # full
+    PYTHONPATH=src python benchmarks/bench_pdes.py --profile ci   # small
+
+Every leg's result digest must be byte-identical to the serial leg --
+the bench hard-fails on a mismatch, so a speedup number can never be
+quoted for a run that changed the answer.
+
+Profiles:
+
+- ``full``: the acceptance-scale cell -- 100 data servers, 50 client
+  nodes, 10,000 ranks (one 64 KB call each).
+- ``ci``: an 8-server, 64-rank cell sized for the CI gate; the
+  committed ``benchmarks/results/BENCH_pdes.baseline.json`` is pinned
+  on this profile (see check_pdes.py).
+
+Speedup is wall-clock relative to the *serial calendar-queue run* of
+the same cell, so it is an honest end-to-end figure: on a single-CPU
+host the sharded legs lose (fork + pipe overhead, no real
+parallelism) and record speedups below 1.0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+#: Worker counts the sharded legs sweep (serial is measured separately).
+WORKER_COUNTS = [1, 2, 4, 8]
+
+PROFILES = {
+    # 10k ranks, one 64 KB call each, striped over 100 servers.
+    "full": dict(
+        n_servers=100,
+        n_client_nodes=50,
+        n_ranks=10_000,
+        file_size=10_000 * 64 * 1024,
+        request_bytes=64 * 1024,
+    ),
+    # Small enough for a CI leg, large enough that per-round protocol
+    # overhead (not startup noise) dominates the sharded figure.
+    "ci": dict(
+        n_servers=8,
+        n_client_nodes=4,
+        n_ranks=64,
+        file_size=1024 * 64 * 1024,
+        request_bytes=64 * 1024,
+    ),
+}
+
+
+def run_profile(profile: str, workers: list[int] | None = None) -> dict:
+    """Measure one profile; returns the BENCH_pdes payload (not written)."""
+    from repro.sim.pdes import CellParams, run_sharded_cell
+
+    params = CellParams(**PROFILES[profile])
+    workers = workers if workers is not None else WORKER_COUNTS
+
+    t0 = time.perf_counter()
+    serial = run_sharded_cell(params, workers=0)
+    serial_wall = time.perf_counter() - t0
+
+    legs = {}
+    for w in workers:
+        t0 = time.perf_counter()
+        res = run_sharded_cell(params, workers=w)
+        wall = time.perf_counter() - t0
+        if res.digest != serial.digest:
+            raise SystemExit(
+                f"FATAL: workers={w} digest {res.digest} != serial {serial.digest}"
+            )
+        legs[str(w)] = {
+            "wall_s": wall,
+            "events_per_sec": res.events / wall if wall > 0 else 0.0,
+            "speedup": serial_wall / wall if wall > 0 else 0.0,
+            "rounds": res.stats.rounds,
+            "null_messages": res.stats.null_messages,
+            "horizon_stalls": res.stats.horizon_stalls,
+        }
+
+    return {
+        "profile": profile,
+        "cell": PROFILES[profile],
+        "events": serial.events,
+        "digest": serial.digest,
+        "serial": {
+            "wall_s": serial_wall,
+            "events_per_sec": serial.events / serial_wall if serial_wall > 0 else 0.0,
+        },
+        "workers": legs,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--profile", choices=sorted(PROFILES), default="full")
+    ap.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=None,
+        help=f"worker counts to sweep (default {WORKER_COUNTS})",
+    )
+    ap.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=OUT_DIR / "BENCH_pdes.json",
+        help="output JSON (default benchmarks/out/BENCH_pdes.json)",
+    )
+    args = ap.parse_args(argv)
+
+    payload = run_profile(args.profile, args.workers)
+
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    s = payload["serial"]
+    print(f"profile {payload['profile']}: {payload['events']:,} events, "
+          f"digest {payload['digest'][:16]}")
+    print(f"  serial    : {s['wall_s']:8.3f} s  {s['events_per_sec']:>12,.0f} ev/s")
+    for w, leg in sorted(payload["workers"].items(), key=lambda kv: int(kv[0])):
+        print(f"  workers={w:>2}: {leg['wall_s']:8.3f} s  "
+              f"{leg['events_per_sec']:>12,.0f} ev/s  "
+              f"speedup x{leg['speedup']:.2f}  "
+              f"({leg['rounds']} rounds, {leg['null_messages']} nulls)")
+    print(f"written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
+    raise SystemExit(main())

@@ -1,0 +1,216 @@
+"""CI regression gate for the PDES sharding bench.
+
+Compares a ``BENCH_pdes.json`` measurement (see bench_pdes.py) against
+the committed baseline ``benchmarks/results/BENCH_pdes.baseline.json``
+and exits non-zero when either figure regressed more than the allowed
+tolerance (25% by default)::
+
+    PYTHONPATH=src python benchmarks/check_pdes.py            # run bench
+    PYTHONPATH=src python benchmarks/check_pdes.py --from \\
+        benchmarks/out/BENCH_pdes.json                        # pre-run
+
+Two figures are gated:
+
+- *serial events/sec* -- the cell's raw simulation rate.  Host speed
+  varies across CI runners, so the live run re-measures the same
+  pure-Python calibration loop as check_regression.py and scales the
+  baseline by ``local_calibration / baseline_calibration``.
+- *speedup per worker count* -- sharded wall over serial wall.  A
+  speedup is a ratio of two runs on the same host, so it needs no
+  calibration; the gate fails if any worker leg's measured speedup
+  drops more than the tolerance below the baseline's.  Baselines pinned
+  on a single-CPU host record speedups below 1.0 (fork + pipe overhead
+  with no real parallelism); a multi-core runner only clears the bar
+  more easily, so the gate stays honest on both kinds of host.
+
+Maintenance::
+
+    python benchmarks/check_pdes.py --update-baseline     # re-pin (ci)
+    python benchmarks/check_pdes.py --from measured.json  # gate a file
+
+``--from`` skips the bench *and* calibration scaling: the figures in
+the given file are compared raw against the baseline (synthetic tests).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+BASELINE_PATH = RESULTS_DIR / "BENCH_pdes.baseline.json"
+REPORT_PATH = OUT_DIR / "BENCH_pdes_gate.json"
+
+DEFAULT_TOLERANCE = 0.25
+#: Profile the committed baseline is pinned on.
+BASELINE_PROFILE = "ci"
+
+
+def load_json(path: pathlib.Path) -> dict:
+    with path.open() as f:
+        return json.load(f)
+
+
+def check(measured: dict, baseline: dict, tolerance: float,
+          local_calibration: float | None = None) -> tuple[bool, dict]:
+    """Gate one bench payload against the baseline; returns (ok, report)."""
+    checks = []
+
+    scale = 1.0
+    base_cal = baseline.get("calibration_ops_per_sec")
+    if local_calibration is not None and base_cal:
+        scale = local_calibration / float(base_cal)
+
+    base_serial = float(baseline["serial"]["events_per_sec"])
+    meas_serial = float(measured["serial"]["events_per_sec"])
+    threshold = base_serial * scale * (1.0 - tolerance)
+    checks.append({
+        "name": "serial_events_per_sec",
+        "measured": meas_serial,
+        "baseline": base_serial,
+        "calibration_scale": scale,
+        "threshold": threshold,
+        "ok": meas_serial >= threshold,
+    })
+
+    for w, leg in sorted(baseline.get("workers", {}).items(), key=lambda kv: int(kv[0])):
+        base_speedup = float(leg["speedup"])
+        meas_leg = measured.get("workers", {}).get(w)
+        if meas_leg is None:
+            checks.append({
+                "name": f"speedup_workers_{w}",
+                "measured": None,
+                "baseline": base_speedup,
+                "threshold": None,
+                "ok": False,
+            })
+            continue
+        meas_speedup = float(meas_leg["speedup"])
+        threshold = base_speedup * (1.0 - tolerance)
+        checks.append({
+            "name": f"speedup_workers_{w}",
+            "measured": meas_speedup,
+            "baseline": base_speedup,
+            "threshold": threshold,
+            "ok": meas_speedup >= threshold,
+        })
+
+    ok = all(c["ok"] for c in checks)
+    return ok, {"tolerance": tolerance, "ok": ok, "checks": checks}
+
+
+def _calibration_rate() -> float:
+    sys.path.insert(0, str(pathlib.Path(__file__).parent))
+    from check_regression import calibration_rate
+
+    return calibration_rate()
+
+
+def _run_bench(profile: str) -> dict:
+    sys.path.insert(0, str(pathlib.Path(__file__).parent))
+    from bench_pdes import run_profile
+
+    return run_profile(profile)
+
+
+def write_baseline(path: pathlib.Path, payload: dict, calibration: float) -> None:
+    pinned = {
+        "profile": payload["profile"],
+        "events": payload["events"],
+        "serial": {"events_per_sec": payload["serial"]["events_per_sec"]},
+        "workers": {
+            w: {"speedup": leg["speedup"],
+                "events_per_sec": leg["events_per_sec"]}
+            for w, leg in payload["workers"].items()
+        },
+        "calibration_ops_per_sec": calibration,
+        "tolerance": DEFAULT_TOLERANCE,
+        "bench": f"benchmarks/bench_pdes.py --profile {payload['profile']}",
+        "method": "speedups gated raw (host-relative ratios); serial "
+                  "events/sec scaled by the local calibration rate",
+    }
+    path.parent.mkdir(exist_ok=True)
+    path.write_text(json.dumps(pinned, indent=2, sort_keys=True) + "\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--baseline", type=pathlib.Path, default=BASELINE_PATH,
+        help=f"baseline JSON (default {BASELINE_PATH})",
+    )
+    ap.add_argument(
+        "--tolerance", type=float, default=None,
+        help="allowed fractional drop (default: baseline's, else 0.25)",
+    )
+    ap.add_argument(
+        "--from", dest="from_json", type=pathlib.Path, default=None,
+        metavar="PATH",
+        help="gate this BENCH_pdes.json instead of running the bench "
+        "(disables calibration scaling)",
+    )
+    ap.add_argument(
+        "--profile", default=BASELINE_PROFILE,
+        help=f"bench profile for live runs (default {BASELINE_PROFILE})",
+    )
+    ap.add_argument(
+        "--update-baseline", action="store_true",
+        help="re-measure and overwrite the baseline file, then exit 0",
+    )
+    args = ap.parse_args(argv)
+
+    if args.update_baseline:
+        payload = _run_bench(args.profile)
+        cal = _calibration_rate()
+        write_baseline(args.baseline, payload, cal)
+        print(f"baseline updated: {payload['serial']['events_per_sec']:,.0f} "
+              f"ev/s serial, speedups "
+              f"{ {w: round(leg['speedup'], 3) for w, leg in sorted(payload['workers'].items(), key=lambda kv: int(kv[0]))} } "
+              f"-> {args.baseline}")
+        return 0
+
+    baseline = load_json(args.baseline)
+    tolerance = args.tolerance
+    if tolerance is None:
+        tolerance = float(baseline.get("tolerance", DEFAULT_TOLERANCE))
+
+    if args.from_json is not None:
+        measured, local_cal = load_json(args.from_json), None
+    else:
+        measured = _run_bench(args.profile)
+        local_cal = _calibration_rate()
+        try:
+            # Live runs double as the bench: persist the measurement so
+            # CI uploads one consistent pair (measurement + verdict).
+            OUT_DIR.mkdir(exist_ok=True)
+            (OUT_DIR / "BENCH_pdes.json").write_text(
+                json.dumps(measured, indent=2, sort_keys=True) + "\n"
+            )
+        except OSError:
+            pass
+
+    ok, report = check(measured, baseline, tolerance, local_cal)
+
+    try:
+        REPORT_PATH.parent.mkdir(exist_ok=True)
+        REPORT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    except OSError:
+        pass  # the verdict matters, the artifact is best-effort
+
+    for c in report["checks"]:
+        meas = "missing" if c["measured"] is None else f"{c['measured']:,.2f}"
+        thr = "-" if c["threshold"] is None else f"{c['threshold']:,.2f}"
+        verdict = "ok" if c["ok"] else "FAIL"
+        print(f"  {c['name']:<26} measured {meas:>12}  "
+              f"baseline {c['baseline']:>12,.2f}  threshold {thr:>12}  {verdict}")
+    print(f"verdict: {'PASS' if ok else 'FAIL: pdes sharding regressed'} "
+          f"(tolerance -{tolerance:.0%})")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
+    raise SystemExit(main())

@@ -38,7 +38,10 @@ import time
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 BASELINE_PATH = RESULTS_DIR / "BENCH_kernel.baseline.json"
-REPORT_PATH = RESULTS_DIR / "BENCH_regression.json"
+# Generated verdicts go under benchmarks/out/ (gitignored wholesale);
+# benchmarks/results/ holds only deliberately committed baselines and
+# archived figures, so a gate run can never dirty the tree.
+REPORT_PATH = pathlib.Path(__file__).parent / "out" / "BENCH_regression.json"
 
 DEFAULT_TOLERANCE = 0.25
 MEDIAN_OF = 3

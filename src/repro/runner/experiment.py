@@ -115,6 +115,7 @@ def run_experiment(
     observe=None,
     fault_plan=None,
     guard=None,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Run ``specs`` on one fresh cluster; return all measurements.
 
@@ -130,11 +131,13 @@ def run_experiment(
     ``guard`` is an optional :class:`repro.guard.GuardConfig` (or True
     for defaults); when enabled, a :class:`repro.guard.SafetyGovernor`
     is attached across the stack (budgets, benefit governor, breaker,
-    watchdog) and returned as ``result.guard``.
+    watchdog) and returned as ``result.guard``.  ``workers`` asks for a
+    sharded simulation (see :func:`repro.cluster.build_cluster` -- the
+    full model currently falls back to the serial run, bit-identically).
     """
     if not specs:
         raise ValueError("need at least one job spec")
-    cluster = build_cluster(cluster_spec, observe=observe)
+    cluster = build_cluster(cluster_spec, observe=observe, workers=workers)
     runtime = MpiRuntime(cluster)
     _create_files(cluster, specs)
 

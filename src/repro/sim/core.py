@@ -459,8 +459,26 @@ class Simulator:
         sanitize: Optional[bool] = None,
         observe: Optional["Observability"] = None,
         queue: Union[str, EventQueue, None] = None,
+        workers: Optional[int] = None,
     ) -> None:
         self._now: float = 0.0
+        # -- sharding degree -------------------------------------------
+        # The kernel itself is strictly single-threaded; ``workers``
+        # records the *intended* sharding degree for the conservative
+        # parallel-DES layer (repro.sim.pdes), which partitions a model
+        # into logical processes each owning a Simulator like this one.
+        # None defers to REPRO_SIM_WORKERS (default 1 = serial).
+        if workers is None:
+            try:
+                workers = int(os.environ.get("REPRO_SIM_WORKERS", "1") or "1")
+            except ValueError:
+                raise SimulationError(
+                    f"REPRO_SIM_WORKERS={os.environ['REPRO_SIM_WORKERS']!r} "
+                    "is not an integer"
+                ) from None
+        if not isinstance(workers, int) or workers < 1:
+            raise SimulationError(f"workers must be a positive int, got {workers!r}")
+        self.workers: int = workers
         self._active: Optional[Process] = None
         #: Monotone per-dispatch counter fed to the sanitizer's
         #: ``on_dispatch`` hook as the schedule sequence number.
@@ -695,6 +713,68 @@ class Simulator:
                 if event.__class__ is Timeout:
                     # Inlined Timeout._process: a timeout never fails, so
                     # the failure bookkeeping is skipped on the hot path.
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    event._processed = True
+                    try:
+                        for cb in callbacks:  # type: ignore[union-attr]
+                            cb(event)
+                    except BaseException:
+                        q.requeue_front(t, prio, events)
+                        raise
+                    if (
+                        pool is not None
+                        and getrefcount(event) == 2
+                        and len(pool) < _POOL_MAX
+                    ):
+                        pool.append(event)
+                else:
+                    try:
+                        event._process()
+                    except BaseException:
+                        q.requeue_front(t, prio, events)
+                        raise
+
+    def run_below(self, limit: float) -> int:
+        """Dispatch every scheduled event with time strictly below ``limit``.
+
+        The conservative parallel-DES horizon primitive (see
+        :mod:`repro.sim.pdes`): a logical process may safely execute all
+        local events earlier than its input horizon, but never an event
+        *at* the horizon -- a message could still arrive there.  Events at
+        ``t >= limit`` stay queued untouched.  Returns the number of
+        events dispatched (the window's committed-event count).
+
+        Unlike :meth:`run`, the clock is left at the last dispatched
+        event and no quiescence check runs -- the caller owns the loop.
+        """
+        q = self._queue
+        pool = self._pool
+        san = self._sanitizer
+        accel = self._accel
+        pop = q.pop_cohort
+        n_dispatched = 0
+        while True:
+            band = pop()
+            if band is None:
+                return n_dispatched
+            t, prio, events = band
+            if t >= limit:
+                q.requeue_front(t, prio, events)
+                return n_dispatched
+            self._now = t
+            if accel is not None:
+                q.now = t
+            i = 0
+            while i < len(events):
+                event = events[i]
+                events[i] = None
+                i += 1
+                if san is not None:
+                    self._dispatch_seq += 1
+                    san.on_dispatch(t, prio, self._dispatch_seq, event)
+                n_dispatched += 1
+                if event.__class__ is Timeout:
                     callbacks = event.callbacks
                     event.callbacks = None
                     event._processed = True

@@ -1,0 +1,32 @@
+"""Conservative parallel DES: shard one simulation across worker processes.
+
+See :mod:`repro.sim.pdes.engine` for the synchronization protocol and
+:mod:`repro.sim.pdes.cell` for the sharded PFS cell model the CI
+determinism matrix and the PDES speedup bench drive.
+"""
+
+from repro.sim.pdes.cell import CellParams, CellResult, run_sharded_cell
+from repro.sim.pdes.engine import (
+    MSG_PRIO_BASE,
+    Channel,
+    LogicalProcess,
+    Message,
+    PdesDeadlock,
+    PdesEngine,
+    PdesError,
+    PdesStats,
+)
+
+__all__ = [
+    "CellParams",
+    "CellResult",
+    "Channel",
+    "LogicalProcess",
+    "MSG_PRIO_BASE",
+    "Message",
+    "PdesDeadlock",
+    "PdesEngine",
+    "PdesError",
+    "PdesStats",
+    "run_sharded_cell",
+]
