@@ -1,7 +1,7 @@
 PYTHON ?= python
 NPROC ?= $(shell nproc 2>/dev/null || echo 1)
 
-.PHONY: install test test-fast test-heap test-pdes coverage lint lint-fast own own-map sanitize chaos soak bench bench-fast bench-kernel bench-gate bench-pdes pdes-gate ci-local examples results clean
+.PHONY: install test test-fast test-heap test-pdes coverage lint lint-fast own own-map sanitize chaos soak serve-smoke bench bench-fast bench-kernel bench-gate bench-pdes pdes-gate ci-local examples results clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -70,6 +70,13 @@ soak:
 	PYTHONPATH=src $(PYTHON) benchmarks/soak.py --seed 0 --cells 12 \
 		--budget-s 240 --out-dir soak-out
 
+# Service smoke: real `repro serve` subprocess, 8 submissions (2 dups)
+# from 2 client processes, 6 catalog entries + dedup hits + bit-identity
+# vs direct runs, SIGTERM drain (same invocation as the CI service job).
+serve-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/serve_smoke.py \
+		--out-dir serve-smoke-out
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
@@ -128,5 +135,6 @@ examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f; done
 
 clean:
-	rm -rf .pytest_cache .benchmarks .bench_cache soak-out src/repro.egg-info
+	rm -rf .pytest_cache .benchmarks .bench_cache soak-out serve-smoke-out \
+		.service_catalog src/repro.egg-info
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -21,6 +21,10 @@ a metrics snapshot / Chrome-trace JSON (see docs/observability.md).
 simulated cluster (see docs/fault_injection.md), and ``--guard`` attaches
 the safety governor -- memory budgets, benefit governor, circuit breaker,
 and stall watchdog (see docs/degradation.md).
+
+The service layer (docs/service.md) adds ``serve`` (run the experiment
+coordinator), ``submit`` / ``status`` (talk to one), and ``catalog``
+(inspect the content-addressed result catalog on disk).
 """
 
 from __future__ import annotations
@@ -498,6 +502,145 @@ def cmd_pdes(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the experiment coordinator until SIGTERM/SIGINT, then drain.
+
+    See docs/service.md: submissions arrive as line-JSON over TCP, are
+    deduped by fingerprint, run on a local worker pool, and land in the
+    content-addressed catalog with full provenance.
+    """
+    import asyncio
+    import signal
+
+    from repro.service import Coordinator
+
+    async def serve_main() -> int:
+        coordinator = Coordinator(
+            catalog_dir=args.catalog,
+            workers=args.workers,
+            host=args.host,
+            port=args.port,
+            tenant_cap_bytes=args.tenant_cap_mb * 1024 * 1024,
+            queue_cap_bytes=args.queue_cap_mb * 1024 * 1024,
+            max_jobs=args.max_jobs,
+            allow_chaos=args.allow_chaos,
+        )
+        await coordinator.start()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(sig, coordinator.request_shutdown, True)
+        print(
+            f"coordinator listening on {coordinator.host}:{coordinator.port} "
+            f"({args.workers} workers, catalog {coordinator.catalog.root})",
+            flush=True,
+        )
+        if args.port_file:
+            with open(args.port_file, "w", encoding="utf-8") as fh:
+                fh.write(f"{coordinator.port}\n")
+        await coordinator.wait_stopped()
+        status = coordinator.status()
+        counters = status["counters"]
+        print(
+            f"drained: {counters['completed']} completed, "
+            f"{counters['failed']} failed, "
+            f"{status['catalog_entries']} catalog entries",
+            flush=True,
+        )
+        return 0
+
+    return asyncio.run(serve_main())
+
+
+def cmd_submit(args) -> int:
+    """Submit one experiment spec JSON to a running coordinator."""
+    import json
+
+    from repro.service import ExperimentSubmission, ServiceClient, ServiceError
+
+    try:
+        submission = ExperimentSubmission.load(args.spec)
+    except (OSError, ValueError) as exc:
+        print(f"bad submission {args.spec!r}: {exc}", file=sys.stderr)
+        return 1
+    if args.tenant:
+        submission = ExperimentSubmission.from_dict(
+            {**submission.to_dict(), "tenant": args.tenant}
+        )
+    client = ServiceClient(args.host, args.port, timeout=args.timeout)
+    try:
+        response = client.submit(submission, wait=args.wait)
+    except ServiceError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    print(json.dumps(response, indent=2, sort_keys=True))
+    return 0 if response.get("ok") else 1
+
+
+def cmd_status(args) -> int:
+    """Print a running coordinator's status as JSON."""
+    import json
+
+    from repro.service import ServiceClient, ServiceError
+
+    try:
+        status = ServiceClient(args.host, args.port).status()
+    except ServiceError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    print(json.dumps(status, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_catalog(args) -> int:
+    """Inspect a result catalog on disk (no coordinator needed)."""
+    import json
+
+    from repro.service import ResultCatalog
+
+    catalog = ResultCatalog(args.catalog)
+    if args.action == "list":
+        rows = []
+        for record in catalog.records():
+            prov = record.provenance
+            sub = record.submission
+            rows.append(
+                [
+                    record.fingerprint[:16],
+                    sub.get("tenant", "?"),
+                    sub.get("label", "") or "-",
+                    len(sub.get("jobs", [])),
+                    f"{record.result.get('makespan_s', 0.0):.3f}",
+                    f"{prov.get('wall_time_s', 0.0):.2f}",
+                    prov.get("attempts", "?"),
+                ]
+            )
+        print(
+            format_table(
+                ["fingerprint", "tenant", "label", "jobs", "sim (s)", "wall (s)", "tries"],
+                rows,
+                title=f"catalog {catalog.root} ({len(rows)} records)",
+            )
+        )
+        return 0
+    # action == "show"
+    if not args.fingerprint:
+        print("catalog show needs a fingerprint", file=sys.stderr)
+        return 1
+    record = catalog.get(args.fingerprint)
+    if record is None:
+        # Allow the abbreviated form `repro catalog show <prefix>`.
+        matches = [
+            fp for fp in catalog.fingerprints() if fp.startswith(args.fingerprint)
+        ]
+        if len(matches) == 1:
+            record = catalog.get(matches[0])
+    if record is None:
+        print(f"no catalog record for {args.fingerprint!r}", file=sys.stderr)
+        return 1
+    print(json.dumps(record.to_dict(), indent=2, sort_keys=True))
+    return 0
+
+
 def cmd_list_workloads(_args) -> int:
     print(
         format_table(
@@ -712,6 +855,92 @@ def make_parser() -> argparse.ArgumentParser:
         help="write the final run's result digest to this file",
     )
     p_pdes.set_defaults(func=cmd_pdes)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the experiment coordinator (submissions over line-JSON "
+        "TCP; results in a content-addressed catalog -- docs/service.md)",
+    )
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument(
+        "--port", type=int, default=0, help="TCP port (0 = pick a free one)"
+    )
+    p_srv.add_argument(
+        "--workers", type=int, default=2, help="local worker processes"
+    )
+    p_srv.add_argument(
+        "--catalog",
+        default=None,
+        metavar="DIR",
+        help="catalog root (default: REPRO_SERVICE_CATALOG or .service_catalog)",
+    )
+    p_srv.add_argument(
+        "--tenant-cap-mb",
+        type=int,
+        default=4096,
+        help="per-tenant quota on declared MB queued + running",
+    )
+    p_srv.add_argument(
+        "--queue-cap-mb",
+        type=int,
+        default=16384,
+        help="coordinator-wide backpressure cap on declared MB",
+    )
+    p_srv.add_argument(
+        "--max-jobs", type=int, default=256, help="ceiling on in-flight jobs"
+    )
+    p_srv.add_argument(
+        "--port-file",
+        metavar="PATH",
+        default=None,
+        help="write the bound port to this file once listening",
+    )
+    p_srv.add_argument(
+        "--allow-chaos",
+        action="store_true",
+        help="accept protocol-level chaos flags (crash-a-worker); test rigs only",
+    )
+    p_srv.set_defaults(func=cmd_serve)
+
+    p_sub = sub.add_parser(
+        "submit", help="submit an experiment spec JSON to a running coordinator"
+    )
+    p_sub.add_argument("spec", help="submission JSON file (docs/service.md)")
+    p_sub.add_argument("--host", default="127.0.0.1")
+    p_sub.add_argument("--port", type=int, required=True)
+    p_sub.add_argument(
+        "--wait", action="store_true", help="block until the record is committed"
+    )
+    p_sub.add_argument(
+        "--tenant", default=None, help="override the submission's tenant"
+    )
+    p_sub.add_argument(
+        "--timeout", type=float, default=600.0, help="socket timeout (s)"
+    )
+    p_sub.set_defaults(func=cmd_submit)
+
+    p_st = sub.add_parser("status", help="query a running coordinator's status")
+    p_st.add_argument("--host", default="127.0.0.1")
+    p_st.add_argument("--port", type=int, required=True)
+    p_st.set_defaults(func=cmd_status)
+
+    p_cat = sub.add_parser(
+        "catalog", help="inspect an on-disk result catalog (list / show)"
+    )
+    p_cat.add_argument("action", choices=["list", "show"])
+    p_cat.add_argument(
+        "fingerprint",
+        nargs="?",
+        default=None,
+        help="record fingerprint (or unique prefix) for `show`",
+    )
+    p_cat.add_argument(
+        "--catalog",
+        default=None,
+        metavar="DIR",
+        help="catalog root (default: REPRO_SERVICE_CATALOG or .service_catalog)",
+    )
+    p_cat.set_defaults(func=cmd_catalog)
 
     p_lw = sub.add_parser("list-workloads", help="show available workloads")
     p_lw.set_defaults(func=cmd_list_workloads)

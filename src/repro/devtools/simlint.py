@@ -12,9 +12,9 @@ seed:
   if the order feeds the event schedule, two runs diverge.  Iterate a
   ``sorted(...)`` view, or a dict/list which are insertion-ordered.
 - **SL002** wall-clock reads (``time.time``, ``time.monotonic``,
-  ``time.perf_counter``, ``datetime.now`` ...) outside ``benchmarks/``
-  and ``runner/``.  Simulation code must read ``sim.now``; wall time is
-  for the measurement harness only.
+  ``time.perf_counter``, ``datetime.now`` ...) outside ``benchmarks/``,
+  ``runner/``, and ``service/``.  Simulation code must read ``sim.now``;
+  wall time is for the measurement harness and the serving layer only.
 - **SL003** module-level ``random.*`` / ``numpy.random.*`` calls.  The
   global RNG is cross-contaminated by any other caller; use a seeded
   ``random.Random`` / ``numpy.random.default_rng`` instance owned by the
@@ -83,7 +83,7 @@ __all__ = [
 #: rule id -> one-line description (the catalogue; keep docs/static_analysis.md in sync)
 RULES: dict[str, str] = {
     "SL001": "iteration over set/frozenset/dict.keys() of non-literal origin in sim code",
-    "SL002": "wall-clock read (time.*/datetime.now) outside benchmarks/ and runner/",
+    "SL002": "wall-clock read (time.*/datetime.now) outside benchmarks/, runner/, service/",
     "SL003": "module-level random.*/numpy.random.* call instead of an owned seeded RNG",
     "SL004": "mutable default argument",
     "SL005": "yield of a non-Event value inside a simulation process generator",
@@ -121,8 +121,10 @@ _SL007_MUTATORS = frozenset(
 SIM_PACKAGES = frozenset(
     {"sim", "disk", "iosched", "pfs", "cache", "mpiio", "core", "obs", "faults", "guard"}
 )
-#: Path segments exempt from SL002 (the wall-clock measurement harness).
-WALLCLOCK_EXEMPT_PARTS = frozenset({"benchmarks", "runner"})
+#: Path segments exempt from SL002 (the wall-clock measurement harness
+#: plus the experiment service, whose provenance stamps, worker wall
+#: times, and socket timeouts legitimately live in wall-clock time).
+WALLCLOCK_EXEMPT_PARTS = frozenset({"benchmarks", "runner", "service"})
 
 _WALLCLOCK_TIME_FUNCS = frozenset(
     {

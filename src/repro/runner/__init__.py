@@ -16,6 +16,7 @@ from repro.runner.experiment import ExperimentResult, JobResult, JobSpec, run_ex
 from repro.runner.parallel import (
     ExperimentSpec,
     SlimExperimentResult,
+    WorkerCellError,
     run_experiments,
 )
 from repro.runner.results import format_table
@@ -29,6 +30,7 @@ __all__ = [
     "JobSpec",
     "STRATEGY_NAMES",
     "SlimExperimentResult",
+    "WorkerCellError",
     "calibrate_compute_for_ratio",
     "format_table",
     "resolve_strategy",

@@ -29,6 +29,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -48,11 +49,38 @@ __all__ = [
     "CacheStats",
     "ExperimentSpec",
     "SlimExperimentResult",
+    "WorkerCellError",
     "clear_cache",
     "default_cache_dir",
     "experiment_fingerprint",
     "run_experiments",
 ]
+
+
+class WorkerCellError(RuntimeError):
+    """An experiment cell raised inside a pool worker.
+
+    A bare exception re-raised across the process boundary loses its
+    child traceback (pickling keeps the instance, not the stack), which
+    used to surface a failed cell as an opaque one-liner with only
+    parent-side frames.  This wrapper captures ``traceback.format_exc()``
+    in the worker and carries the text home, so the parent-side error
+    names the failing cell and shows exactly where in the child it died.
+    """
+
+    def __init__(self, label: str, traceback_text: str) -> None:
+        self.label = label
+        self.traceback_text = traceback_text
+        super().__init__(
+            f"experiment cell {label or '<unlabelled>'!r} failed in worker:\n"
+            f"{traceback_text}"
+        )
+
+    def __reduce__(self):
+        # Multi-arg exceptions need an explicit recipe to cross the
+        # pickle boundary intact (BaseException.__reduce__ replays
+        # ``args``, which here is the formatted message, not our pair).
+        return (WorkerCellError, (self.label, self.traceback_text))
 
 
 @dataclass(frozen=True)
@@ -308,6 +336,16 @@ def _run_spec(spec: ExperimentSpec) -> SlimExperimentResult:
     return SlimExperimentResult.from_full(res)
 
 
+def _run_spec_in_worker(spec: ExperimentSpec) -> SlimExperimentResult:
+    """Pool entry point: like :func:`_run_spec`, but any failure crosses
+    back to the parent as a :class:`WorkerCellError` with the child's
+    full traceback text attached."""
+    try:
+        return _run_spec(spec)
+    except Exception as exc:
+        raise WorkerCellError(spec.label, traceback.format_exc()) from exc
+
+
 def _default_jobs() -> int:
     env = os.environ.get("REPRO_JOBS")
     if env:
@@ -358,7 +396,9 @@ def run_experiments(
             results[i] = _run_spec(specs[i])
     else:
         with ProcessPoolExecutor(max_workers=min(jobs, len(misses))) as pool:
-            for i, res in zip(misses, pool.map(_run_spec, (specs[i] for i in misses))):
+            for i, res in zip(
+                misses, pool.map(_run_spec_in_worker, (specs[i] for i in misses))
+            ):
                 results[i] = res
 
     if use_cache:

@@ -1,0 +1,59 @@
+"""DualPar-as-a-service: coordinator/worker experiment queue + catalog.
+
+The service layer turns the one-shot experiment harness
+(:mod:`repro.runner`) into a long-running, multi-tenant system
+(ROADMAP item 3):
+
+- :mod:`repro.service.schemas`     -- versioned JSON submission schema
+  (unknown fields and foreign schema versions rejected outright);
+- :mod:`repro.service.catalog`     -- content-addressed result catalog:
+  one atomically-committed record per experiment fingerprint, with full
+  provenance (code version, submission, fault plan, guard config, obs
+  snapshot, worker id, wall time);
+- :mod:`repro.service.worker`      -- local worker pool with crash
+  detection and bounded requeue;
+- :mod:`repro.service.coordinator` -- the asyncio coordinator: schema
+  gate, sha256 dedup, guard-budget tenant quotas/backpressure, fan-out,
+  drain-on-SIGTERM;
+- :mod:`repro.service.client`      -- blocking line-JSON client (CLI,
+  tests, smoke harness).
+
+CLI: ``repro serve`` / ``repro submit`` / ``repro status`` /
+``repro catalog``.  See ``docs/service.md``.
+"""
+
+from repro.service.catalog import (
+    RECORD_VERSION,
+    CatalogRecord,
+    ResultCatalog,
+    canonical_json,
+    result_to_dict,
+)
+from repro.service.client import ServiceClient, ServiceError, wait_until_ready
+from repro.service.coordinator import Coordinator, ServiceHandle, start_in_thread
+from repro.service.schemas import (
+    SCHEMA_VERSION,
+    ClusterSubmission,
+    ExperimentSubmission,
+    JobSubmission,
+)
+from repro.service.worker import WorkerPool
+
+__all__ = [
+    "RECORD_VERSION",
+    "SCHEMA_VERSION",
+    "CatalogRecord",
+    "ClusterSubmission",
+    "Coordinator",
+    "ExperimentSubmission",
+    "JobSubmission",
+    "ResultCatalog",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceHandle",
+    "WorkerPool",
+    "canonical_json",
+    "result_to_dict",
+    "start_in_thread",
+    "wait_until_ready",
+]

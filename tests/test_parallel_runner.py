@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import multiprocessing
 import pickle
+from typing import Iterator
 
 import pytest
 
@@ -10,9 +12,11 @@ from repro import DualParConfig, ExperimentSpec, JobSpec, MpiIoTest, run_experim
 from repro.cluster import paper_spec
 from repro.runner import parallel
 from repro.runner.parallel import (
+    WorkerCellError,
     clear_cache,
     experiment_fingerprint,
 )
+from repro.workloads.base import FileSpec, Workload
 
 
 def _spec(strategy="vanilla", quota_kb=None, stripe_unit=64 * 1024, nprocs=8):
@@ -153,3 +157,111 @@ def test_slim_result_measurement_surface(tmp_path):
 def test_spec_accepts_list_of_jobspecs():
     spec = _spec("vanilla")
     assert isinstance(spec.specs, tuple)
+
+
+# ---------------------------------------------------------------------------
+# worker failure attribution (ISSUE 9 satellite)
+# ---------------------------------------------------------------------------
+
+
+class _BoomWorkload(Workload):
+    """Explodes mid-stream inside the worker process."""
+
+    name = "boom"
+
+    def files(self) -> list[FileSpec]:
+        return [FileSpec("boom.dat", 1024 * 1024)]
+
+    def ops(self, rank: int, size: int) -> Iterator:
+        raise RuntimeError("kaboom in ops")
+        yield  # pragma: no cover - unreachable
+
+
+def _boom_spec():
+    return ExperimentSpec(
+        [JobSpec("b", 2, _BoomWorkload())],
+        cluster_spec=paper_spec(n_compute_nodes=2),
+        label="boom-cell",
+    )
+
+
+def test_worker_failure_carries_child_traceback():
+    """A cell that dies inside a pool worker must surface as a
+    WorkerCellError naming the cell and carrying the child's full
+    traceback text across the process boundary -- not a bare exception
+    with only parent-side frames."""
+    with pytest.raises(WorkerCellError) as excinfo:
+        run_experiments([_spec("vanilla"), _boom_spec()], jobs=2, cache=False)
+    err = excinfo.value
+    assert err.label == "boom-cell"
+    # The child traceback survived the pool boundary verbatim.
+    assert "Traceback (most recent call last)" in err.traceback_text
+    assert "kaboom in ops" in err.traceback_text
+    assert "_BoomWorkload" in err.traceback_text or "in ops" in err.traceback_text
+    # And the rendered message shows it too.
+    assert "boom-cell" in str(err)
+    assert "kaboom in ops" in str(err)
+
+
+def test_worker_cell_error_pickles_whole():
+    err = WorkerCellError("cell-7", "Traceback ...\nValueError: nope\n")
+    clone = pickle.loads(pickle.dumps(err))
+    assert isinstance(clone, WorkerCellError)
+    assert clone.label == "cell-7"
+    assert clone.traceback_text == err.traceback_text
+    assert str(clone) == str(err)
+
+
+def test_inline_run_raises_the_original_exception():
+    # jobs=1 runs in-process: no wrapping, the real exception propagates.
+    with pytest.raises(RuntimeError, match="kaboom in ops"):
+        run_experiments([_boom_spec()], jobs=1, cache=False)
+
+
+# ---------------------------------------------------------------------------
+# cross-process cache race (ISSUE 9 satellite)
+# ---------------------------------------------------------------------------
+
+
+def _race_entry(cache_dir, barrier, results):
+    """One racer: start in lockstep, run the same cell, then re-read it
+    a few times; every read must be byte-identical to the first run."""
+    spec = _spec("vanilla")
+    barrier.wait()
+    first = run_experiments([spec], jobs=1, cache_dir=cache_dir)
+    blobs = [pickle.dumps(first)]
+    for _ in range(3):
+        again = run_experiments([spec], jobs=1, cache_dir=cache_dir)
+        blobs.append(pickle.dumps(again))
+    results.put((len(set(blobs)) == 1, blobs[0]))
+
+
+def test_cross_process_cache_race_single_entry_no_corrupt_reads(tmp_path):
+    """Two processes racing the same .bench_cache key must yield exactly
+    one stored entry and zero corrupt reads (extends the truncated-entry
+    -is-miss test above to real concurrency: atomic fsync-before-rename
+    means a reader sees a whole entry or a miss, never a torn one)."""
+    ctx = multiprocessing.get_context()
+    barrier = ctx.Barrier(2)
+    results = ctx.Queue()
+    procs = [
+        ctx.Process(target=_race_entry, args=(tmp_path, barrier, results))
+        for _ in range(2)
+    ]
+    for p in procs:
+        p.start()
+    outcomes = [results.get(timeout=300) for _ in procs]
+    for p in procs:
+        p.join(300)
+        assert p.exitcode == 0
+    # Zero corrupt reads in either process, and both saw the same bytes.
+    assert all(consistent for consistent, _ in outcomes)
+    assert len({blob for _, blob in outcomes}) == 1
+    # Exactly one whole stored entry, no leftover temp files.
+    entries = list(tmp_path.glob("*.pkl"))
+    assert len(entries) == 1
+    assert not list(tmp_path.glob("*.tmp*"))
+    # The surviving entry replays as a hit, byte-identical to the race.
+    final = run_experiments([_spec("vanilla")], jobs=1, cache_dir=tmp_path)
+    assert parallel.LAST_RUN_STATS.hits == 1
+    assert pickle.dumps(final) == outcomes[0][1]

@@ -69,6 +69,12 @@ MODULES = [
     "repro.runner.strategies",
     "repro.runner.results",
     "repro.runner.calibrate",
+    "repro.service",
+    "repro.service.schemas",
+    "repro.service.catalog",
+    "repro.service.worker",
+    "repro.service.coordinator",
+    "repro.service.client",
     "repro.trace",
     "repro.trace.blktrace",
     "repro.trace.timeline",
